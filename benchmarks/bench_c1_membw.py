@@ -1,0 +1,82 @@
+"""C1 — single-core vs controller memory bandwidth (§5.1).
+
+The paper's numbers: "the best rate that a single thread can achieve
+on a read workload is 75-85% of the controller's bandwidth and has
+remained constant for a long time", and controllers are
+"oversubscribed w.r.t. the number of cores": no single core saturates
+a controller, but a moderate number of memory-bound cores saturates
+all of them and per-core bandwidth collapses.
+
+Sweeps the number of concurrently reading cores on a 2-controller
+socket and reports per-core and aggregate bandwidth.
+"""
+
+from common import report
+
+from repro.hardware import GIB, CPUSocket
+from repro.sim import Simulator, Trace
+
+CONTROLLERS = 2
+CONTROLLER_GIB = 20.0
+FRACTION = 0.8
+READ_BYTES = 64 << 20
+
+
+def run_cores(n_cores: int) -> dict:
+    sim = Simulator()
+    trace = Trace()
+    socket = CPUSocket(sim, trace, "s", cores=max(n_cores, 1),
+                       controllers=CONTROLLERS,
+                       controller_bandwidth=CONTROLLER_GIB * GIB,
+                       single_stream_fraction=FRACTION)
+    finish = {}
+
+    def stream(i):
+        yield from socket.memory_read(READ_BYTES, stream_id=i,
+                                      through_caches=False)
+        finish[i] = sim.now
+
+    for i in range(n_cores):
+        sim.process(stream(i))
+    sim.run()
+    per_core = [READ_BYTES / t for t in finish.values()]
+    aggregate = n_cores * READ_BYTES / max(finish.values())
+    return {
+        "cores": n_cores,
+        "per_core_gib": sum(per_core) / len(per_core) / GIB,
+        "aggregate_gib": aggregate / GIB,
+        "fraction_of_one_controller":
+            (sum(per_core) / len(per_core)) / (CONTROLLER_GIB * GIB),
+        "fraction_of_socket":
+            aggregate / (CONTROLLERS * CONTROLLER_GIB * GIB),
+    }
+
+
+def run_c1() -> list[dict]:
+    return [run_cores(n) for n in (1, 2, 4, 8, 16, 32)]
+
+
+def test_c1_memory_bandwidth(benchmark):
+    rows = benchmark.pedantic(run_c1, rounds=1, iterations=1)
+    report(
+        "C1", "Single-core bandwidth ceiling and controller "
+        "oversubscription",
+        "one core sustains 75-85% of one controller; aggregate "
+        "saturates at the socket's controller bandwidth; per-core "
+        "bandwidth collapses as cores >> controllers",
+        rows)
+    one = rows[0]
+    # The 75-85% claim.
+    assert 0.75 <= one["fraction_of_one_controller"] <= 0.85
+    # Aggregate approaches but never exceeds socket bandwidth.
+    for r in rows:
+        assert r["fraction_of_socket"] <= 1.01
+    many = rows[-1]
+    assert many["fraction_of_socket"] > 0.9
+    # Collapse: with 32 cores on 2 controllers, each core gets a
+    # small fraction of what it gets alone.
+    assert many["per_core_gib"] < one["per_core_gib"] / 8
+
+
+if __name__ == "__main__":
+    report("C1", "Memory bandwidth", "75-85% single core", run_c1())

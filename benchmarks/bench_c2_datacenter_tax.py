@@ -1,0 +1,146 @@
+"""C2 — the data-center tax and bytes-scanned billing (§2.2, §3.2).
+
+Two parts:
+
+1. **Tax share**: a remote read pipeline with the cloud's mandatory
+   serialize/compress/encrypt steps (on the CPU) vs the same pipeline
+   without them: how much of the device time the tax consumes, and
+   what offloading the tax to the SmartNIC recovers ([3]'s
+   "datacenter tax" profiled at ~30% of cycles).
+
+2. **Billing**: QaaS systems charge per byte *scanned*.  An S3-Select
+   style pushdown GET scans the same bytes (same bill) but a plain
+   GET-then-filter moves everything; with per-byte egress the
+   difference shows up in what the user pays for movement.
+"""
+
+from common import fmt_bytes, fmt_time, report
+
+from repro.cloud import EgressOp, IngressOp, ObjectStore, TaxConfig
+from repro.flow import StageGraph
+from repro.hardware import build_fabric, dataflow_spec
+from repro.relational import Catalog, col, make_lineitem
+
+ROWS = 60_000
+CHUNK = 4_096
+
+
+def run_tax_pipeline(taxed: bool, offload: bool) -> dict:
+    """Ship a table storage->CPU with/without tax, on CPU or NICs."""
+    fabric = build_fabric(dataflow_spec())
+    table = make_lineitem(ROWS, chunk_rows=CHUNK)
+    graph = StageGraph(fabric, name="c2")
+    src = graph.source("scan", table, medium=fabric.storage.medium)
+    if taxed:
+        egress_site = "storage.nic" if offload else "compute0.cpu"
+        ingress_site = "compute0.nic" if offload else "compute0.cpu"
+        egress = graph.stage("egress", egress_site,
+                             [EgressOp(TaxConfig())])
+        ingress = graph.stage("ingress", ingress_site,
+                              [IngressOp(TaxConfig())])
+        sink = graph.sink("out", "compute0.cpu")
+        graph.connect(src, egress)
+        graph.connect(egress, ingress)
+        graph.connect(ingress, sink)
+    else:
+        sink = graph.sink("out", "compute0.cpu")
+        graph.connect(src, sink)
+    result = graph.run()
+    assert result.table().num_rows == ROWS
+    cpu_busy = fabric.trace.busy_time("device.compute0.cpu")
+    tax_kinds = ("serialize", "deserialize", "compress", "decompress",
+                 "encrypt", "decrypt")
+    cpu_tax_bytes = sum(
+        fabric.trace.counter(f"device.compute0.cpu.bytes.{k}")
+        for k in tax_kinds)
+    return {
+        "taxed": taxed,
+        "tax_site": ("nic" if offload else "cpu") if taxed else "-",
+        "elapsed": result.elapsed,
+        "network": fabric.trace.counter("movement.network.bytes"),
+        "cpu_busy": cpu_busy,
+        "cpu_tax_bytes": cpu_tax_bytes,
+    }
+
+
+def run_billing() -> list[dict]:
+    fabric = build_fabric(dataflow_spec())
+    table = make_lineitem(ROWS, chunk_rows=CHUNK)
+    predicate = col("l_quantity") > 45
+
+    rows = []
+    for pushdown in (False, True):
+        store = ObjectStore(fabric.storage, fabric.trace)
+        keys = store.put_table("lineitem", table)
+
+        def run():
+            returned = 0
+            for key in keys:
+                if pushdown:
+                    chunk = yield from store.select(
+                        key, predicate=predicate,
+                        columns=["l_orderkey", "l_extendedprice"])
+                else:
+                    chunk = yield from store.get(key)
+                returned += chunk.nbytes
+            return returned
+
+        returned = fabric.sim.run_process(run())
+        rows.append({
+            "mode": "select-pushdown" if pushdown else "get-then-filter",
+            "bytes_scanned": store.bill.bytes_scanned,
+            "scan_dollars": store.bill.dollars,
+            "bytes_returned": returned,
+        })
+    return rows
+
+
+def run_c2():
+    taxes = [run_tax_pipeline(False, False),
+             run_tax_pipeline(True, False),
+             run_tax_pipeline(True, True)]
+    return taxes, run_billing()
+
+
+def test_c2_datacenter_tax(benchmark):
+    taxes, billing = benchmark.pedantic(run_c2, rounds=1, iterations=1)
+    report(
+        "C2a", "The data-center tax on a remote read path",
+        "serialize/compress/encrypt consume a large share of host CPU "
+        "time; offloading them to the NICs frees the CPU entirely and "
+        "puts the compressed form on the wire",
+        [dict(r, elapsed=fmt_time(r["elapsed"]),
+              network=fmt_bytes(r["network"]),
+              cpu_busy=fmt_time(r["cpu_busy"]),
+              cpu_tax_bytes=fmt_bytes(r["cpu_tax_bytes"]))
+         for r in taxes])
+    report(
+        "C2b", "Bytes-scanned billing (QaaS model, §3.2)",
+        "the bill is identical — QaaS charges for bytes scanned, not "
+        "computation — but pushdown returns a fraction of the bytes, "
+        "which is why movement is the quantity to optimize",
+        [dict(r, bytes_scanned=fmt_bytes(r["bytes_scanned"]),
+              bytes_returned=fmt_bytes(r["bytes_returned"]),
+              scan_dollars=f"${r['scan_dollars']:.6f}")
+         for r in billing])
+
+    untaxed, cpu_tax, nic_tax = taxes
+    # Tax on the CPU consumes real time there.
+    assert cpu_tax["cpu_tax_bytes"] > 0
+    assert cpu_tax["cpu_busy"] > 5 * untaxed["cpu_busy"]
+    # Offloading the tax returns the CPU to the untaxed level.
+    assert nic_tax["cpu_tax_bytes"] == 0
+    # With egress on the storage-side NIC the wire carries the
+    # compressed form; with host-side tax the wire is still raw.
+    assert nic_tax["network"] < untaxed["network"]
+    assert cpu_tax["network"] >= untaxed["network"]
+    # Billing: same scan bill, far fewer bytes returned.
+    get, select = billing
+    assert abs(get["bytes_scanned"] - select["bytes_scanned"]) < 1
+    assert select["bytes_returned"] < get["bytes_returned"] / 10
+
+
+if __name__ == "__main__":
+    taxes, billing = run_c2()
+    for r in taxes + billing:
+        print(r)

@@ -1,0 +1,132 @@
+"""C8 — CXL: hardware coherence + the PCIe bandwidth ladder (§6).
+
+Two claims:
+
+1. **Coherence**: with PCIe/RDMA-era *software* coherence a writer
+   must ship invalidation RPCs to every sharer and sharers re-fetch
+   whole regions; CXL's ``cxl.cache`` does line-granular hardware
+   invalidation with no CPU involvement.  "Cache coherency expands
+   the design space ... many active agents can cache and operate on
+   the latest version simultaneously."  Sweep the number of sharers
+   and compare invalidation traffic and time.
+
+2. **Bandwidth**: each PCIe generation doubles bandwidth ("it does
+   not seem we will lack bandwidth improvements"), so the time to
+   ship a working set over the host interconnect halves per
+   generation — which keeps shrinking the penalty of disaggregation.
+"""
+
+from common import fmt_bytes, fmt_time, report
+
+from repro.hardware import (
+    CoherenceDomain,
+    Device,
+    GIB,
+    OpKind,
+    cxl_link,
+    pcie_link,
+)
+from repro.hardware.interconnect import PCIE_LANE_GBPS
+from repro.sim import Simulator, Trace
+
+REGION = 1 << 20       # 1 MiB shared region
+WRITES = 20
+
+
+def run_coherence(mode: str, sharers: int) -> dict:
+    sim = Simulator()
+    trace = Trace()
+    link = cxl_link(sim, trace, "ic") if mode == "hardware" else \
+        pcie_link(sim, trace, "ic")
+    cpu = Device(sim, trace, "hostcpu",
+                 rates={OpKind.GENERIC: 8.0 * GIB})
+    domain = CoherenceDomain(sim, trace, "region", link=link, mode=mode,
+                             cpu=cpu)
+    domain.add_sharer("writer")
+    for i in range(sharers):
+        sharer_cpu = Device(sim, trace, f"sharer{i}",
+                            rates={OpKind.GENERIC: 8.0 * GIB})
+        domain.add_sharer(f"agent{i}", sharer_cpu)
+
+    def run():
+        for _ in range(WRITES):
+            yield from domain.write(REGION, writer="writer")
+
+    sim.run_process(run())
+    return {
+        "mode": mode,
+        "sharers": sharers,
+        "coherence_bytes": trace.total("flow.coherence"),
+        "elapsed": sim.now,
+        "cpu_busy": trace.busy_time("device.hostcpu"),
+    }
+
+
+def run_pcie_ladder(working_set: int = 1 << 30) -> list[dict]:
+    rows = []
+    for gen in sorted(PCIE_LANE_GBPS):
+        sim = Simulator()
+        trace = Trace()
+        link = pcie_link(sim, trace, f"gen{gen}", generation=gen)
+
+        def run():
+            yield from link.transfer(working_set)
+
+        sim.run_process(run())
+        rows.append({
+            "pcie_gen": gen,
+            "bandwidth_gib_s": link.bandwidth / GIB,
+            "transfer_1gib": sim.now,
+        })
+    return rows
+
+
+def run_c8():
+    coherence = [run_coherence(mode, sharers)
+                 for sharers in (1, 2, 4, 8)
+                 for mode in ("software", "hardware")]
+    ladder = run_pcie_ladder()
+    return coherence, ladder
+
+
+def test_c8_cxl_coherence(benchmark):
+    coherence, ladder = benchmark.pedantic(run_c8, rounds=1,
+                                           iterations=1)
+    report(
+        "C8a", "Software (PCIe/RDMA) vs hardware (CXL) coherence",
+        "software coherence traffic and time grow with sharers "
+        "(region re-fetch per sharer + CPU work per RPC); hardware "
+        "coherence sends line invalidations with zero CPU time",
+        [dict(r, coherence_bytes=fmt_bytes(r["coherence_bytes"]),
+              elapsed=fmt_time(r["elapsed"]),
+              cpu_busy=fmt_time(r["cpu_busy"])) for r in coherence])
+    report(
+        "C8b", "The PCIe bandwidth ladder",
+        "bandwidth doubles per generation, halving the working-set "
+        "transfer time — disaggregation's bandwidth penalty keeps "
+        "shrinking",
+        [dict(r, transfer_1gib=fmt_time(r["transfer_1gib"]))
+         for r in ladder])
+
+    def pick(mode, sharers):
+        return next(r for r in coherence if r["mode"] == mode
+                    and r["sharers"] == sharers)
+
+    for sharers in (1, 2, 4, 8):
+        sw, hw = pick("software", sharers), pick("hardware", sharers)
+        assert hw["coherence_bytes"] < sw["coherence_bytes"] / 4
+        assert hw["elapsed"] < sw["elapsed"]
+        assert hw["cpu_busy"] == 0.0
+        assert sw["cpu_busy"] > 0.0
+    # Software cost grows with sharers; each PCIe gen ~doubles.
+    assert pick("software", 8)["coherence_bytes"] > \
+        3 * pick("software", 2)["coherence_bytes"]
+    for a, b in zip(ladder, ladder[1:]):
+        ratio = a["transfer_1gib"] / b["transfer_1gib"]
+        assert 1.8 < ratio < 2.2
+
+
+if __name__ == "__main__":
+    coherence, ladder = run_c8()
+    for r in coherence + ladder:
+        print(r)

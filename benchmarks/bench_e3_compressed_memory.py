@@ -1,0 +1,121 @@
+"""E3 (extension) — compressed data in memory, decompressed on demand
+(§5.4).
+
+The paper: "it would be interesting if the possibility existed of
+keeping data in memory compressed and having the accelerator
+decompress on demand. Such a set of functional units would allow the
+rest of the pipeline (the cores, aided by the caches) to see only
+filtered and uncompressed data."
+
+Three residency/processing configurations over the same (really
+zlib-compressed) table:
+
+* raw in DRAM, CPU filters — maximal DRAM footprint, full-table
+  memory traffic;
+* compressed in DRAM, CPU decompresses+filters — smaller footprint,
+  but the cores burn time on decompression and the caches still see
+  every raw byte;
+* compressed in DRAM, near-memory unit decompresses+filters — same
+  small footprint, and only surviving rows cross toward the caches.
+"""
+
+from common import fmt_bytes, fmt_time, report
+
+from repro.hardware import CPUSocket, NearMemoryAccelerator, OpKind
+from repro.relational import col, compress_chunk, make_uniform_table
+from repro.sim import Simulator, Trace
+
+ROWS = 300_000
+DISTINCT = 40          # low-cardinality columns compress well
+SELECTIVITY_CUTOFF = 2  # k0 < 2 -> ~5% of rows
+
+
+def make_payload():
+    table = make_uniform_table(ROWS, columns=4, distinct=DISTINCT,
+                               chunk_rows=ROWS)
+    chunk = table.chunks[0]
+    compressed = compress_chunk(chunk)
+    predicate = col("k0") < SELECTIVITY_CUTOFF
+    survivors = chunk.filter(predicate.evaluate(chunk))
+    return chunk, compressed, survivors
+
+
+def run_config(config: str) -> dict:
+    chunk, compressed, survivors = make_payload()
+    sim = Simulator()
+    trace = Trace()
+    socket = CPUSocket(sim, trace, "s", cores=8, controllers=2)
+    accel = NearMemoryAccelerator(sim, trace, "accel")
+    raw, packed, kept = (float(chunk.nbytes),
+                         float(compressed.nbytes),
+                         float(survivors.nbytes))
+
+    def raw_cpu():
+        yield from socket.memory_read(raw, stream_id=0)
+        yield from socket.core(0).execute(OpKind.FILTER, raw)
+
+    def compressed_cpu():
+        yield from socket.memory_read(packed, stream_id=0)
+        yield from socket.core(0).execute(OpKind.DECOMPRESS, packed)
+        # The caches then see the full raw stream.
+        socket.caches.charge_stream(raw)
+        yield from socket.core(0).execute(OpKind.FILTER, raw)
+
+    def compressed_nearmem():
+        yield from accel.execute(OpKind.DECOMPRESS, packed)
+        yield from accel.execute(OpKind.FILTER, raw)
+        # Only survivors move toward the caches and the core.
+        yield from socket.memory_read(kept, stream_id=0)
+
+    runner = {"raw+cpu": raw_cpu,
+              "compressed+cpu": compressed_cpu,
+              "compressed+nearmem": compressed_nearmem}[config]
+    sim.run_process(runner())
+    return {
+        "config": config,
+        "dram_resident": packed if config.startswith("compressed")
+        else raw,
+        "membus_bytes": trace.counter("movement.membus.bytes"),
+        "cache_bytes": trace.counter("movement.cache.bytes"),
+        "elapsed": sim.now,
+        "compression_ratio": compressed.ratio,
+    }
+
+
+def run_e3() -> list[dict]:
+    return [run_config(c) for c in
+            ("raw+cpu", "compressed+cpu", "compressed+nearmem")]
+
+
+def test_e3_compressed_memory(benchmark):
+    rows = benchmark.pedantic(run_e3, rounds=1, iterations=1)
+    report(
+        "E3", "Compressed-in-memory with on-demand decompression",
+        "compression shrinks DRAM residency by the ratio; doing the "
+        "decompression on the CPU trades that for core time and full "
+        "cache traffic; the near-memory unit keeps the small "
+        "footprint AND sends only filtered, uncompressed survivors "
+        "up the hierarchy",
+        [dict(r, dram_resident=fmt_bytes(r["dram_resident"]),
+              membus_bytes=fmt_bytes(r["membus_bytes"]),
+              cache_bytes=fmt_bytes(r["cache_bytes"]),
+              elapsed=fmt_time(r["elapsed"]),
+              compression_ratio=f"{r['compression_ratio']:.1f}x")
+         for r in rows])
+    raw, cpu, nearmem = rows
+    ratio = raw["compression_ratio"]
+    assert ratio > 2
+    # Residency shrinks by the (real) compression ratio.
+    assert cpu["dram_resident"] < raw["dram_resident"] / 2
+    assert nearmem["dram_resident"] == cpu["dram_resident"]
+    # CPU decompression still floods the caches with raw bytes.
+    assert cpu["cache_bytes"] >= raw["cache_bytes"]
+    # The near-memory unit sends only survivors upward.
+    assert nearmem["membus_bytes"] < 0.1 * raw["membus_bytes"]
+    assert nearmem["cache_bytes"] < 0.1 * cpu["cache_bytes"]
+    assert nearmem["elapsed"] < cpu["elapsed"]
+
+
+if __name__ == "__main__":
+    for r in run_e3():
+        print(r)

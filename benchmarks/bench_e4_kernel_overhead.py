@@ -1,0 +1,94 @@
+"""E4 (extension) — kernel installation and the offload break-even
+(§7.2).
+
+Accelerators lack an ISA; every offloaded stage first installs a
+kernel (register writes + logic, §7.2).  That setup cost is invisible
+at scale but dominates tiny queries — so offloading has a *break-even
+size*, one facet of "what operators make sense to push down".
+
+Sweeps table size for a selective LIKE query (regex kernels install
+an automaton, the most expensive kernel in the model) with pushdown
+on/off, and reports when offload starts paying.
+"""
+
+from common import fmt_time, report
+
+from repro import (
+    Catalog,
+    DataflowEngine,
+    Query,
+    build_fabric,
+    col,
+    cpu_only,
+    dataflow_spec,
+    make_lineitem,
+    pushdown,
+)
+
+CHUNK = 2_048
+
+
+def run_case(rows: int, push: bool) -> dict:
+    fabric = build_fabric(dataflow_spec())
+    catalog = Catalog()
+    catalog.register("lineitem", make_lineitem(rows, chunk_rows=CHUNK))
+    query = (Query.scan("lineitem")
+             .filter(col("l_comment").like("%express%"))
+             .project(["l_orderkey"]))
+    engine = DataflowEngine(fabric, catalog)
+    placement = (pushdown(query.plan, fabric) if push
+                 else cpu_only(query.plan, fabric))
+    result = engine.execute(query, placement=placement)
+    install_time = sum(
+        v for k, v in fabric.trace.counters.items()
+        if k.endswith("kernel_install_time"))
+    return {
+        "rows": rows,
+        "pushdown": push,
+        "elapsed": result.elapsed,
+        "kernel_install": install_time,
+        "install_share": install_time / result.elapsed,
+    }
+
+
+def run_e4() -> list[dict]:
+    out = []
+    for rows in (200, 2_000, 20_000, 200_000):
+        out.append(run_case(rows, push=False))
+        out.append(run_case(rows, push=True))
+    return out
+
+
+def test_e4_kernel_overhead(benchmark):
+    rows = benchmark.pedantic(run_e4, rounds=1, iterations=1)
+    report(
+        "E4", "Kernel installation cost and the offload break-even",
+        "programming an ISA-less accelerator costs register writes + "
+        "logic installation; the share of runtime it consumes falls "
+        "with data size, so offload only pays beyond a break-even "
+        "query size",
+        [dict(r, elapsed=fmt_time(r["elapsed"]),
+              kernel_install=fmt_time(r["kernel_install"]),
+              install_share=f"{r['install_share']:.1%}")
+         for r in rows])
+
+    def pick(n, push):
+        return next(r for r in rows if r["rows"] == n
+                    and r["pushdown"] == push)
+
+    # CPU plans install nothing; offloaded plans always install.
+    for n in (200, 2_000, 20_000, 200_000):
+        assert pick(n, False)["kernel_install"] == 0.0
+        assert pick(n, True)["kernel_install"] > 0.0
+    # The install share shrinks with size...
+    shares = [pick(n, True)["install_share"]
+              for n in (200, 2_000, 20_000, 200_000)]
+    assert shares == sorted(shares, reverse=True)
+    # ...and offload wins at scale even though it pays the setup.
+    assert pick(200_000, True)["elapsed"] < \
+        pick(200_000, False)["elapsed"]
+
+
+if __name__ == "__main__":
+    for r in run_e4():
+        print(r)

@@ -1,0 +1,203 @@
+"""F5 — processing near memory (Figure 5, §5.2–§5.4).
+
+Three of the paper's proposed near-memory functional units, each
+compared against the CPU doing the same work over the memory bus:
+
+* **filter + decompress**: the accelerator filters (and decompresses)
+  on the memory->cache path so the cores "see only filtered and
+  uncompressed data";
+* **pointer chasing**: a traversal unit walks a hierarchical block
+  structure inside the memory system and sends only the leaf up;
+* **list maintenance**: GC-style free-list cleanup runs entirely near
+  memory.
+"""
+
+from common import fmt_bytes, fmt_time, report
+
+import numpy as np
+
+from repro.hardware import (
+    CPUSocket,
+    FreeList,
+    HierarchicalBlockStore,
+    LRUCache,
+    NearMemoryAccelerator,
+    OpKind,
+    chase_near_memory,
+    chase_on_cpu,
+    gc_near_memory,
+    gc_on_cpu,
+)
+from repro.sim import Simulator, Trace
+
+
+def env():
+    sim = Simulator()
+    trace = Trace()
+    socket = CPUSocket(sim, trace, "s", cores=8, controllers=2)
+    accel = NearMemoryAccelerator(sim, trace, "accel")
+    return sim, trace, socket, accel
+
+
+# ---------------------------------------------------------------------------
+# Filter on the memory -> cache path
+# ---------------------------------------------------------------------------
+
+def run_filter(selectivity: float, on_accel: bool,
+               nbytes: int = 64 << 20) -> dict:
+    sim, trace, socket, accel = env()
+    kept = nbytes * selectivity
+
+    def cpu_side():
+        # Everything crosses the controller and caches, then the core
+        # filters in software.
+        yield from socket.memory_read(nbytes, stream_id=0)
+        yield from socket.core(0).execute(OpKind.FILTER, nbytes)
+
+    def accel_side():
+        # The accelerator filters at memory bandwidth; only survivors
+        # cross toward the caches/core.
+        yield from accel.execute(OpKind.FILTER, nbytes)
+        yield from socket.memory_read(kept, stream_id=0)
+
+    sim.run_process(accel_side() if on_accel else cpu_side())
+    return {
+        "selectivity": selectivity,
+        "site": "near-memory" if on_accel else "cpu",
+        "membus_bytes": trace.counter("movement.membus.bytes"),
+        "cache_bytes": trace.counter("movement.cache.bytes"),
+        "elapsed": sim.now,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Pointer chasing
+# ---------------------------------------------------------------------------
+
+def run_chase(n_keys: int, lookups: int = 200, cached: bool = False
+              ) -> dict:
+    keys = list(range(0, n_keys * 2, 2))
+    store = HierarchicalBlockStore(keys, fanout=16, leaf_capacity=64)
+    rng = np.random.default_rng(42)
+    probes = rng.integers(0, n_keys * 2, size=lookups).tolist()
+
+    sim, trace, socket, _accel = env()
+    cache = LRUCache(capacity_blocks=256) if cached else None
+
+    def cpu_run():
+        for key in probes:
+            yield from chase_on_cpu(store, key, socket, cache=cache)
+
+    sim.run_process(cpu_run())
+    cpu = {"membus": trace.counter("movement.membus.bytes"),
+           "elapsed": sim.now}
+
+    sim2, trace2, socket2, accel2 = env()
+
+    def nm_run():
+        for key in probes:
+            yield from chase_near_memory(store, key, accel2, socket2)
+
+    sim2.run_process(nm_run())
+    near = {"membus": trace2.counter("movement.membus.bytes"),
+            "elapsed": sim2.now}
+    return {
+        "keys": n_keys,
+        "height": store.height,
+        "llc_cached": cached,
+        "cpu_membus": cpu["membus"],
+        "nm_membus": near["membus"],
+        "cpu_elapsed": cpu["elapsed"],
+        "nm_elapsed": near["elapsed"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# List maintenance (GC)
+# ---------------------------------------------------------------------------
+
+def run_gc(nodes: int = 200_000) -> dict:
+    dead = set(range(0, nodes, 10))
+
+    sim, trace, socket, _ = env()
+    removed_cpu = sim.run_process(
+        gc_on_cpu(FreeList(list(range(nodes))), set(dead), socket))
+    cpu = {"membus": trace.counter("movement.membus.bytes"),
+           "elapsed": sim.now}
+
+    sim2, trace2, _s2, accel2 = env()
+    removed_nm = sim2.run_process(
+        gc_near_memory(FreeList(list(range(nodes))), set(dead), accel2,
+                       trace2))
+    assert removed_cpu == removed_nm
+    return {
+        "scenario": "gc",
+        "nodes": nodes,
+        "cpu_membus": cpu["membus"],
+        "nm_membus": trace2.counter("movement.membus.bytes"),
+        "cpu_elapsed": cpu["elapsed"],
+        "nm_elapsed": sim2.now,
+    }
+
+
+def run_f5():
+    filters = [run_filter(s, on) for s in (1.0, 0.1, 0.01)
+               for on in (False, True)]
+    chases = [run_chase(n) for n in (10_000, 1_000_000)]
+    chases.append(run_chase(1_000_000, cached=True))
+    gc = run_gc()
+    return filters, chases, gc
+
+
+def test_f5_near_memory(benchmark):
+    filters, chases, gc = benchmark.pedantic(run_f5, rounds=1,
+                                             iterations=1)
+    report(
+        "F5a", "Near-memory filtering on the memory->cache path",
+        "the CPU sees only filtered data: membus/cache bytes drop "
+        "with selectivity when the accelerator filters; on the CPU "
+        "they never drop",
+        [dict(r, membus_bytes=fmt_bytes(r["membus_bytes"]),
+              cache_bytes=fmt_bytes(r["cache_bytes"]),
+              elapsed=fmt_time(r["elapsed"])) for r in filters])
+    report(
+        "F5b", "Pointer-chasing functional unit",
+        "a traversal on the CPU moves height x block per lookup; near "
+        "memory only the leaf moves — the gap grows with tree height "
+        "and shrinks when the LLC already holds the hot upper levels",
+        [dict(r, cpu_membus=fmt_bytes(r["cpu_membus"]),
+              nm_membus=fmt_bytes(r["nm_membus"]),
+              cpu_elapsed=fmt_time(r["cpu_elapsed"]),
+              nm_elapsed=fmt_time(r["nm_elapsed"])) for r in chases])
+    report(
+        "F5c", "List-maintenance (GC) functional unit",
+        "memory-centric maintenance near memory moves nothing toward "
+        "the CPU",
+        [dict(gc, cpu_membus=fmt_bytes(gc["cpu_membus"]),
+              nm_membus=fmt_bytes(gc["nm_membus"]),
+              cpu_elapsed=fmt_time(gc["cpu_elapsed"]),
+              nm_elapsed=fmt_time(gc["nm_elapsed"]))])
+
+    # Filter: near-memory movement scales with selectivity; CPU's not.
+    def fpick(sel, site):
+        return next(r for r in filters if r["selectivity"] == sel
+                    and r["site"] == site)
+    assert fpick(0.01, "near-memory")["membus_bytes"] < \
+        fpick(0.01, "cpu")["membus_bytes"] / 50
+    assert fpick(0.01, "cpu")["membus_bytes"] == \
+        fpick(1.0, "cpu")["membus_bytes"]
+    # Chase: near-memory moves exactly one block per lookup.
+    big = next(r for r in chases if r["keys"] == 1_000_000
+               and not r["llc_cached"])
+    assert big["nm_membus"] < big["cpu_membus"] / (big["height"] - 1)
+    # A warm LLC narrows (but here does not erase) the CPU's gap.
+    cached = next(r for r in chases if r["llc_cached"])
+    assert cached["cpu_membus"] < big["cpu_membus"]
+    # GC near memory: zero bytes toward the CPU.
+    assert gc["nm_membus"] == 0
+
+
+if __name__ == "__main__":
+    filters, chases, gc = run_f5()
+    for r in filters + chases + [gc]:
+        print(r)

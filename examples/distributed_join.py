@@ -1,0 +1,88 @@
+"""The Figure 4 scattering pipeline: a NIC-orchestrated distributed join.
+
+Two compute nodes join lineitem against orders.  The storage-side
+SmartNIC hash-partitions *both* relations on the fly and scatters
+co-partitioned streams to the two nodes; each node builds and probes
+its partition locally; the per-priority revenue aggregates gather at
+node 0.  The host CPUs never see the exchange — the NICs orchestrate
+it (§4.4).
+
+For contrast the same query also runs single-node, and the example
+prints where the partitioning work executed.
+
+Run:  python examples/distributed_join.py
+"""
+
+from repro import (
+    AggSpec,
+    Catalog,
+    DataflowEngine,
+    Query,
+    build_fabric,
+    col,
+    dataflow_spec,
+    make_lineitem,
+    make_orders,
+    pushdown,
+)
+
+
+def make_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.register("lineitem", make_lineitem(200_000, orders=50_000,
+                                               chunk_rows=8_192))
+    catalog.register("orders", make_orders(50_000, chunk_rows=8_192))
+    return catalog
+
+
+def query() -> Query:
+    return (Query.scan("lineitem")
+            .filter(col("l_quantity") > 20)
+            .join(Query.scan("orders"), "l_orderkey", "o_orderkey")
+            .aggregate(["o_priority"],
+                       [AggSpec("sum", "l_extendedprice", "revenue"),
+                        AggSpec("count", alias="lines")]))
+
+
+def run(nodes: int) -> dict:
+    fabric = build_fabric(dataflow_spec(compute_nodes=nodes))
+    engine = DataflowEngine(fabric, make_catalog())
+    q = query()
+    placement = pushdown(q.plan, fabric)
+    placement.partitions = nodes
+    result = engine.execute(q, placement=placement)
+    return {
+        "nodes": nodes,
+        "elapsed_ms": result.elapsed * 1e3,
+        "rows": result.rows,
+        "nic_partitioned_mib":
+            fabric.trace.counter(
+                "device.storage.nic.proc.bytes.partition") / (1 << 20),
+        "cpu_partitioned_mib": sum(
+            v for k, v in fabric.trace.counters.items()
+            if ".cpu.bytes.partition" in k) / (1 << 20),
+        "table": result.table,
+    }
+
+
+def main() -> None:
+    single = run(1)
+    double = run(2)
+    print(f"{'':>22} {'1 node':>12} {'2 nodes':>12}")
+    for field in ("elapsed_ms", "nic_partitioned_mib",
+                  "cpu_partitioned_mib"):
+        print(f"{field:>22} {single[field]:>12.2f} "
+              f"{double[field]:>12.2f}")
+    print("\nrevenue by priority (2-node plan):")
+    for row in double["table"].sorted_rows():
+        priority, revenue, lines = row
+        print(f"  priority {priority}: {revenue:18,.2f}  "
+              f"({lines:,} lineitems)")
+    speedup = single["elapsed_ms"] / double["elapsed_ms"]
+    assert double["cpu_partitioned_mib"] == 0.0
+    print(f"\nNICs did all the partitioning; "
+          f"2 nodes -> {speedup:.2f}x faster ✓")
+
+
+if __name__ == "__main__":
+    main()

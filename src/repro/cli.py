@@ -1,0 +1,252 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    Run one selective analytic query on the Volcano baseline and the
+    optimizer-placed data-flow pipeline; print the movement report.
+``sites``
+    Show the processing sites of a fabric and the operation kinds each
+    device supports (the paper's offloading design space).
+``query``
+    Run a configurable filter/aggregate query with a chosen placement
+    policy and print per-segment movement.
+``experiments``
+    List every reproduced experiment and its benchmark file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .engine import (
+    AggSpec,
+    DataflowEngine,
+    Query,
+    VolcanoEngine,
+    cpu_only,
+    data_path_sites,
+    pushdown,
+)
+from .hardware import OpKind, build_fabric, conventional_spec, \
+    dataflow_spec
+from .optimizer import Optimizer
+from .relational import Catalog, col, make_lineitem
+
+EXPERIMENTS = [
+    ("F1", "conventional data path amplification",
+     "bench_f1_conventional_path.py"),
+    ("F2", "storage pushdown of selection/projection",
+     "bench_f2_storage_pushdown.py"),
+    ("F3", "staged group-by pipeline across NICs",
+     "bench_f3_nic_pipeline.py"),
+    ("F4", "NIC-scattered distributed join + COUNT on NIC",
+     "bench_f4_scatter_join.py"),
+    ("F5", "near-memory filter / pointer-chase / GC units",
+     "bench_f5_near_memory.py"),
+    ("F6", "full pipeline storage->cores (+A2 DMA ablation)",
+     "bench_f6_full_pipeline.py"),
+    ("C1", "single-core vs controller memory bandwidth",
+     "bench_c1_membw.py"),
+    ("C2", "data-center tax + bytes-scanned billing",
+     "bench_c2_datacenter_tax.py"),
+    ("C3", "credit-based flow control window sweep",
+     "bench_c3_credit_flow.py"),
+    ("C4", "interference-aware scheduling (+A1 ablation)",
+     "bench_c4_scheduling.py"),
+    ("C5", "no more buffer pools", "bench_c5_no_bufferpool.py"),
+    ("C6", "no more data caches", "bench_c6_no_caches.py"),
+    ("C7", "which operators to push down",
+     "bench_c7_pushdown_survey.py"),
+    ("C8", "CXL coherence + PCIe ladder",
+     "bench_c8_cxl_coherence.py"),
+    ("E1", "zone maps (extension)", "bench_e1_zonemaps.py"),
+    ("E2", "disaggregated-memory offload (extension)",
+     "bench_e2_disagg_memory.py"),
+    ("E3", "compressed memory + on-demand decompress (extension)",
+     "bench_e3_compressed_memory.py"),
+    ("E4", "kernel installation break-even (extension)",
+     "bench_e4_kernel_overhead.py"),
+    ("E5", "pre-sorting at storage (extension)",
+     "bench_e5_presort.py"),
+    ("E6", "storage->GPU: GPUDirect vs host staging (extension)",
+     "bench_e6_gpudirect.py"),
+]
+
+
+def _spec(name: str):
+    if name == "dataflow":
+        return dataflow_spec()
+    if name == "conventional":
+        return conventional_spec()
+    raise SystemExit(f"unknown fabric spec {name!r} "
+                     "(choose: dataflow, conventional)")
+
+
+def cmd_demo(args) -> int:
+    catalog = Catalog()
+    catalog.register("lineitem", make_lineitem(args.rows,
+                                               chunk_rows=8192))
+    query = (Query.scan("lineitem")
+             .filter(col("l_quantity") > 45)
+             .aggregate(["l_returnflag"],
+                        [AggSpec("sum", "l_extendedprice", "revenue")]))
+
+    fabric = build_fabric(dataflow_spec())
+    baseline = VolcanoEngine(fabric, catalog).execute(query)
+
+    fabric2 = build_fabric(dataflow_spec())
+    best = Optimizer(fabric2, catalog).optimize(query)
+    offloaded = DataflowEngine(fabric2, catalog).execute(
+        query, placement=best.placement)
+
+    assert baseline.table.sorted_rows() == offloaded.table.sorted_rows()
+    print(f"rows: {args.rows:,}   result groups: {baseline.rows}")
+    print(f"{'':18} {'volcano':>14} {'dataflow*':>14}")
+    for segment in sorted(set(baseline.movement)
+                          | set(offloaded.movement)):
+        label = segment.replace(".bytes", "")
+        print(f"{label:18} {baseline.movement.get(segment, 0):>14,.0f} "
+              f"{offloaded.movement.get(segment, 0):>14,.0f}")
+    print(f"{'elapsed (sim s)':18} {baseline.elapsed:>14.6f} "
+          f"{offloaded.elapsed:>14.6f}")
+    used = sorted({s for chain in best.placement.sites.values()
+                   for s in chain})
+    print(f"\n* optimizer-chosen sites: {used}")
+    return 0
+
+
+def cmd_sites(args) -> int:
+    fabric = build_fabric(_spec(args.spec))
+    print(f"fabric: {args.spec}  "
+          f"(data path: {' -> '.join(data_path_sites(fabric))})\n")
+    kinds = [OpKind.FILTER, OpKind.REGEX, OpKind.PROJECT,
+             OpKind.PARTITION, OpKind.AGGREGATE, OpKind.SORT,
+             OpKind.JOIN_PROBE, OpKind.COMPRESS, OpKind.COUNT]
+    header = f"{'site':18}" + "".join(f"{k:>10}" for k in kinds)
+    print(header)
+    print("-" * len(header))
+    for site, device in sorted(fabric.sites.items()):
+        marks = "".join(
+            f"{'yes' if device.supports(k) else '-':>10}"
+            for k in kinds)
+        print(f"{site:18}{marks}")
+    return 0
+
+
+def cmd_query(args) -> int:
+    catalog = Catalog()
+    catalog.register("lineitem", make_lineitem(args.rows,
+                                               chunk_rows=8192))
+    cutoff = max(1, int(50 * args.selectivity))
+    query = (Query.scan("lineitem")
+             .filter(col("l_quantity") <= cutoff)
+             .project(["l_orderkey", "l_extendedprice"]))
+
+    fabric = build_fabric(_spec(args.spec))
+    engine = DataflowEngine(fabric, catalog,
+                            use_zonemaps=args.zonemaps)
+    if args.placement == "optimize":
+        placement = Optimizer(fabric, catalog).optimize(query).placement
+    elif args.placement == "pushdown":
+        placement = pushdown(query.plan, fabric)
+    else:
+        placement = cpu_only(query.plan, fabric)
+    result = engine.execute(query, placement=placement)
+    print(f"placement: {placement.name}   rows out: {result.rows:,}")
+    for segment, value in sorted(result.movement.items()):
+        print(f"  {segment.replace('.bytes', ''):10} "
+              f"{value:>16,.0f} bytes")
+    print(f"  {'elapsed':10} {result.elapsed:>16.6f} sim-seconds")
+    return 0
+
+
+def cmd_sql(args) -> int:
+    from .relational.sql import parse_sql
+    catalog = Catalog()
+    catalog.register("lineitem", make_lineitem(args.rows,
+                                               chunk_rows=8192))
+    from .relational import make_orders
+    catalog.register("orders", make_orders(args.rows // 4,
+                                           chunk_rows=8192))
+    query = parse_sql(args.statement)
+    fabric = build_fabric(dataflow_spec())
+    if args.placement == "optimize":
+        placement = Optimizer(fabric, catalog).optimize(query).placement
+    elif args.placement == "pushdown":
+        placement = pushdown(query.plan, fabric)
+    else:
+        placement = cpu_only(query.plan, fabric)
+    result = DataflowEngine(fabric, catalog).execute(
+        query, placement=placement)
+    print(f"placement: {placement.name}   "
+          f"elapsed: {result.elapsed:.6f} sim-s   "
+          f"network: {result.bytes_on('network'):,.0f} B")
+    names = result.table.schema.names
+    print("  ".join(names))
+    for row in result.table.sorted_rows()[:args.max_rows]:
+        print("  ".join(str(v) for v in row))
+    if result.rows > args.max_rows:
+        print(f"... ({result.rows} rows total)")
+    return 0
+
+
+def cmd_experiments(_args) -> int:
+    print(f"{'id':4} {'benchmark':36} description")
+    for exp_id, description, bench in EXPERIMENTS:
+        print(f"{exp_id:4} benchmarks/{bench:36} {description}")
+    print("\nrun all:  pytest benchmarks/ --benchmark-only")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Data-flow query processing on simulated modern "
+                    "hardware (Lerner & Alonso, ICDE 2024)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="baseline vs data-flow demo")
+    demo.add_argument("--rows", type=int, default=100_000)
+    demo.set_defaults(func=cmd_demo)
+
+    sites = sub.add_parser("sites", help="list fabric sites")
+    sites.add_argument("--spec", default="dataflow",
+                       choices=["dataflow", "conventional"])
+    sites.set_defaults(func=cmd_sites)
+
+    query = sub.add_parser("query", help="run a configurable query")
+    query.add_argument("--rows", type=int, default=100_000)
+    query.add_argument("--selectivity", type=float, default=0.1)
+    query.add_argument("--placement", default="optimize",
+                       choices=["optimize", "pushdown", "cpu"])
+    query.add_argument("--spec", default="dataflow",
+                       choices=["dataflow", "conventional"])
+    query.add_argument("--zonemaps", action="store_true")
+    query.set_defaults(func=cmd_query)
+
+    sql = sub.add_parser(
+        "sql", help="run a SQL statement over synthetic "
+                    "lineitem/orders tables")
+    sql.add_argument("statement")
+    sql.add_argument("--rows", type=int, default=50_000)
+    sql.add_argument("--max-rows", type=int, default=20)
+    sql.add_argument("--placement", default="optimize",
+                     choices=["optimize", "pushdown", "cpu"])
+    sql.set_defaults(func=cmd_sql)
+
+    experiments = sub.add_parser("experiments",
+                                 help="list reproduced experiments")
+    experiments.set_defaults(func=cmd_experiments)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Cloud substrate: object store, data-center tax, buffer pool, caches."""
+
+from .bufferpool import BufferPool
+from .caches import DataCache, ResultCache, plan_fingerprint
+from .objectstore import Bill, ObjectStore, StoredObject
+from .tax import EgressOp, IngressOp, TaxConfig, WirePayload, xor_cipher
+
+__all__ = [
+    "Bill",
+    "BufferPool",
+    "DataCache",
+    "EgressOp",
+    "IngressOp",
+    "ObjectStore",
+    "ResultCache",
+    "StoredObject",
+    "TaxConfig",
+    "WirePayload",
+    "plan_fingerprint",
+    "xor_cipher",
+]

@@ -1,0 +1,86 @@
+"""The buffer pool — the "main memory addiction" of §7.4.
+
+Conventional engines keep as much data as possible in compute-node
+DRAM.  :class:`BufferPool` models that faithfully: pages (table
+chunks) are cached in the compute node's DRAM under LRU replacement;
+hits cost a local memory-bus crossing, misses pay the full remote path
+(storage read + network + PCIe) and evict under pressure.  The DRAM
+footprint it pins is exactly what the data-flow engine does *not*
+need — the comparison bench C5 draws.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..hardware.cpu import LRUCache
+from ..hardware.presets import HeterogeneousFabric
+
+__all__ = ["BufferPool"]
+
+
+class BufferPool:
+    """An LRU page cache in one compute node's DRAM."""
+
+    def __init__(self, fabric: HeterogeneousFabric, node: int = 0,
+                 capacity_bytes: int = 1 << 30,
+                 page_bytes: int = 1 << 20):
+        if capacity_bytes < page_bytes:
+            raise ValueError("capacity smaller than one page")
+        self.fabric = fabric
+        self.node = node
+        self.page_bytes = page_bytes
+        self.capacity_bytes = capacity_bytes
+        self.dram = fabric.compute[node].dram
+        self._lru = LRUCache(max(1, capacity_bytes // page_bytes),
+                             name=f"bufferpool{node}",
+                             trace=fabric.trace)
+        self._page_sizes: dict[tuple, int] = {}
+        self._resident_bytes = 0
+        self.peak_bytes = 0
+
+    @property
+    def hits(self) -> int:
+        return self._lru.hits
+
+    @property
+    def misses(self) -> int:
+        return self._lru.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self._lru.hit_rate
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._resident_bytes
+
+    def fetch(self, table: str, index: int, nbytes: float) -> Generator:
+        """Bring page (table, index) to DRAM; returns hit/miss.
+
+        A hit charges nothing extra (the page is already in DRAM); a
+        miss reads storage, crosses the network and host interconnect
+        into DRAM, and may evict.
+        """
+        key = (table, index)
+        evicted_before = self._lru.evictions
+        hit = self._lru.access(key)
+        if hit:
+            self.fabric.trace.add("bufferpool.hits", 1)
+            return True
+        # Miss: account an eviction if LRU displaced a page.
+        if self._lru.evictions > evicted_before:
+            victim_bytes = self.page_bytes
+            self._resident_bytes -= victim_bytes
+            self.dram.free(victim_bytes)
+        yield from self.fabric.storage.medium.read(nbytes)
+        yield from self.fabric.transfer(
+            self.fabric.storage_location,
+            f"compute{self.node}.dram", nbytes,
+            flow=f"bufferpool{self.node}")
+        self._page_sizes[key] = int(nbytes)
+        self._resident_bytes += self.page_bytes
+        self.dram.allocate(self.page_bytes)
+        self.peak_bytes = max(self.peak_bytes, self._resident_bytes)
+        self.fabric.trace.add("bufferpool.misses", 1)
+        return False

@@ -1,0 +1,138 @@
+"""The data-center tax: serialize / compress / encrypt on the wire.
+
+§2.2: remote memory and storage access "adds significant overhead in
+terms of data serialization, compression, encryption, etc., all steps
+needed in a cloud setting".  These are implemented as real physical
+operators: egress turns a chunk into an encrypted (optionally
+compressed) wire payload, ingress reverses it.  The payloads are real
+bytes — compression actually shrinks them, encryption actually
+scrambles them — so the movement the simulator charges is the true
+wire size, and the CPU/accelerator time charged reflects which device
+performs the tax (offloading it is half the SmartNIC value
+proposition, §4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.operators import Emit, PhysicalOp
+from ..hardware.device import OpKind
+from ..relational.formats import (
+    compress_bytes,
+    decompress_bytes,
+    deserialize_chunk,
+    serialize_chunk,
+)
+from ..relational.table import Chunk
+
+__all__ = ["TaxConfig", "WirePayload", "EgressOp", "IngressOp",
+           "xor_cipher"]
+
+
+def xor_cipher(payload: bytes, key: int = 0x5A) -> bytes:
+    """A toy-but-real stream cipher (content actually changes)."""
+    keystream = bytes((key + i) % 256 for i in range(251))
+    reps = len(payload) // len(keystream) + 1
+    stream = (keystream * reps)[:len(payload)]
+    return bytes(a ^ b for a, b in zip(payload, stream))
+
+
+@dataclass(frozen=True)
+class TaxConfig:
+    """Which tax steps apply on a given path."""
+
+    serialize: bool = True
+    compress: bool = True
+    encrypt: bool = True
+
+    @property
+    def steps(self) -> list[str]:
+        out = []
+        if self.serialize:
+            out.append("serialize")
+        if self.compress:
+            out.append("compress")
+        if self.encrypt:
+            out.append("encrypt")
+        return out
+
+
+class WirePayload:
+    """A chunk in wire form: what actually crosses the network."""
+
+    def __init__(self, payload: bytes, num_rows: int,
+                 original_nbytes: int, config: TaxConfig):
+        self.payload = payload
+        self.num_rows = num_rows
+        self.original_nbytes = original_nbytes
+        self.config = config
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.payload)
+
+
+class EgressOp(PhysicalOp):
+    """Chunk -> WirePayload (serialize, compress, encrypt)."""
+
+    kind = OpKind.SERIALIZE
+
+    def __init__(self, config: TaxConfig = TaxConfig()):
+        self.config = config
+        self.name = f"egress({'+'.join(config.steps) or 'none'})"
+
+    def process(self, chunk: Chunk) -> list[Emit]:
+        if chunk.num_rows == 0:
+            return []
+        payload = serialize_chunk(chunk)
+        if self.config.compress:
+            payload = compress_bytes(payload)
+        if self.config.encrypt:
+            payload = xor_cipher(payload)
+        return [Emit(WirePayload(payload, chunk.num_rows, chunk.nbytes,
+                                 self.config))]
+
+    def charge_bytes(self, chunk) -> float:
+        return float(chunk.nbytes)
+
+    def extra_charges(self, chunk) -> list[tuple[str, float]]:
+        charges = []
+        if self.config.compress:
+            charges.append((OpKind.COMPRESS, float(chunk.nbytes)))
+        if self.config.encrypt:
+            charges.append((OpKind.ENCRYPT, float(chunk.nbytes)))
+        return charges
+
+
+class IngressOp(PhysicalOp):
+    """WirePayload -> Chunk (decrypt, decompress, deserialize)."""
+
+    kind = OpKind.DESERIALIZE
+
+    def __init__(self, config: TaxConfig = TaxConfig()):
+        self.config = config
+        self.name = f"ingress({'+'.join(config.steps) or 'none'})"
+
+    def process(self, payload) -> list[Emit]:
+        if not isinstance(payload, WirePayload):
+            raise TypeError(
+                f"ingress expected a WirePayload, got {payload!r} — "
+                "pair IngressOp with an upstream EgressOp")
+        raw = payload.payload
+        if self.config.encrypt:
+            raw = xor_cipher(raw)
+        if self.config.compress:
+            raw = decompress_bytes(raw)
+        return [Emit(deserialize_chunk(raw))]
+
+    def charge_bytes(self, payload) -> float:
+        return float(payload.nbytes)
+
+    def extra_charges(self, payload) -> list[tuple[str, float]]:
+        charges = []
+        if self.config.encrypt:
+            charges.append((OpKind.DECRYPT, float(payload.nbytes)))
+        if self.config.compress:
+            charges.append((OpKind.DECOMPRESS, float(payload.nbytes)))
+        return charges

@@ -1,0 +1,628 @@
+"""Physical operators: real, vectorized chunk transformations.
+
+Every operator consumes and produces :class:`~repro.relational.table.Chunk`
+objects; the engines wrap them with simulated device time, so the same
+implementation runs "on" a storage computational unit, a SmartNIC, a
+near-memory accelerator, or a CPU core — only the charged rate differs.
+
+The streaming/stateless-first design mirrors §3.3: filters, projections,
+partitioning, and *partial* aggregation are per-chunk (safe to place on
+constrained devices); join build, final aggregation and sort carry
+state and belong on devices with memory.
+
+The staged group-by of §4.4 is the :class:`PartialAggregate` /
+:class:`MergeAggregate` pair: a partial stage collapses duplicates
+within each chunk, a merge stage collapses partial states again, and a
+final merge (stateful) produces the answer — so a pipeline
+``storage.cu -> storage.nic -> compute.nic -> cpu`` each shrinks the
+stream that reaches the next stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..hardware.device import OpKind
+from ..relational.expressions import Expression
+from ..relational.schema import DataType, Field, Schema
+from ..relational.table import Chunk
+
+__all__ = [
+    "Emit",
+    "PhysicalOp",
+    "FilterOp",
+    "ProjectOp",
+    "MapOp",
+    "PartitionOp",
+    "PartialAggregate",
+    "MergeAggregate",
+    "HashJoinBuild",
+    "HashJoinProbe",
+    "JoinState",
+    "SortOp",
+    "SortRuns",
+    "MergeRuns",
+    "merge_sorted",
+    "LimitOp",
+    "partial_state_schema",
+    "group_inverse",
+]
+
+
+@dataclass
+class Emit:
+    """One output chunk, optionally routed to a numbered partition."""
+
+    chunk: Chunk
+    route: Optional[int] = None
+
+
+class PhysicalOp:
+    """Base class: a (possibly stateful) chunk transformer."""
+
+    kind: str = OpKind.GENERIC
+    stateful: bool = False
+    name: str = "op"
+
+    def process(self, chunk: Chunk) -> list[Emit]:
+        raise NotImplementedError
+
+    def finish(self) -> list[Emit]:
+        """Flush any state at end of stream."""
+        return []
+
+    def charge_bytes(self, chunk: Chunk) -> float:
+        """Bytes of device work this chunk represents."""
+        return float(chunk.nbytes)
+
+    def extra_charges(self, chunk: Chunk) -> list[tuple[str, float]]:
+        """Additional (kind, nbytes) device charges per input chunk.
+
+        Composite operators (e.g. the data-center-tax egress, which
+        serializes, compresses, and encrypts in one pass) report the
+        extra work here; the stage executor charges it alongside the
+        primary kind.
+        """
+        return []
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class FilterOp(PhysicalOp):
+    """Apply a predicate; REGEX work if the predicate contains LIKE."""
+
+    def __init__(self, predicate: Expression):
+        self.predicate = predicate
+        self.kind = predicate.op_kind()
+        self.name = f"filter({predicate!r})"
+
+    def process(self, chunk: Chunk) -> list[Emit]:
+        if chunk.num_rows == 0:
+            return []
+        mask = self.predicate.evaluate(chunk)
+        out = chunk.filter(np.asarray(mask, dtype=bool))
+        if out.num_rows == 0:
+            return []
+        return [Emit(out)]
+
+
+class ProjectOp(PhysicalOp):
+    """Keep a subset of columns."""
+
+    kind = OpKind.PROJECT
+
+    def __init__(self, columns: Sequence[str]):
+        self.columns = list(columns)
+        self.name = f"project({','.join(self.columns)})"
+
+    def process(self, chunk: Chunk) -> list[Emit]:
+        if chunk.num_rows == 0:
+            return []
+        return [Emit(chunk.project(self.columns))]
+
+
+class MapOp(PhysicalOp):
+    """Append computed columns (vectorized scalar expressions)."""
+
+    kind = OpKind.PROJECT
+
+    def __init__(self, exprs: dict, output_schema: Schema):
+        self.exprs = dict(exprs)
+        self.output_schema = output_schema
+        self.name = f"map({','.join(self.exprs)})"
+
+    def process(self, chunk: Chunk) -> list[Emit]:
+        if chunk.num_rows == 0:
+            return []
+        columns = dict(chunk.columns)
+        for name, expr in self.exprs.items():
+            columns[name] = np.asarray(expr.evaluate(chunk),
+                                       dtype=np.float64)
+        return [Emit(Chunk(self.output_schema, columns))]
+
+
+class PartitionOp(PhysicalOp):
+    """Hash-partition rows by a key column into ``n`` routed outputs.
+
+    This is the exchange operator §4.4 puts on SmartNICs: partitioning
+    on the fly so downstream nodes receive co-partitioned streams.
+    """
+
+    kind = OpKind.PARTITION
+
+    def __init__(self, key: str, n_partitions: int):
+        if n_partitions < 1:
+            raise ValueError("need at least one partition")
+        self.key = key
+        self.n_partitions = n_partitions
+        self.name = f"partition({key}, {n_partitions})"
+
+    @staticmethod
+    def hash_values(values: np.ndarray, n: int) -> np.ndarray:
+        """The shared partition function (build/probe must agree)."""
+        mixed = (values.astype(np.int64) * np.int64(0x9E3779B1))
+        return (mixed % n + n) % n
+
+    def process(self, chunk: Chunk) -> list[Emit]:
+        if chunk.num_rows == 0:
+            return []
+        parts = self.hash_values(chunk.column(self.key), self.n_partitions)
+        emits = []
+        for p in range(self.n_partitions):
+            mask = parts == p
+            if mask.any():
+                emits.append(Emit(chunk.filter(mask), route=p))
+        return emits
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+def group_inverse(chunk: Chunk,
+                  group_by: Sequence[str]) -> tuple[Chunk, np.ndarray]:
+    """Distinct group rows of a chunk plus each row's group index."""
+    n = chunk.num_rows
+    if not group_by:
+        empty = Chunk(Schema([]), {})
+        return empty, np.zeros(n, dtype=np.int64)
+    dtype = [(g, chunk.columns[g].dtype) for g in group_by]
+    records = np.empty(n, dtype=dtype)
+    for g in group_by:
+        records[g] = chunk.columns[g]
+    unique, inverse = np.unique(records, return_inverse=True)
+    schema = chunk.schema.project(group_by)
+    groups = Chunk(schema, {g: np.ascontiguousarray(unique[g])
+                            for g in group_by})
+    return groups, inverse.astype(np.int64)
+
+
+def _state_fields(aggs) -> list[tuple[str, str, str]]:
+    """(state column, dtype, source) triples for the partial layout."""
+    fields = []
+    for agg in aggs:
+        if agg.op in ("sum", "avg"):
+            fields.append((f"{agg.alias}$sum", DataType.FLOAT64, agg.column))
+        if agg.op in ("count", "avg"):
+            fields.append((f"{agg.alias}$cnt", DataType.INT64, ""))
+        if agg.op == "min":
+            fields.append((f"{agg.alias}$min", DataType.FLOAT64, agg.column))
+        if agg.op == "max":
+            fields.append((f"{agg.alias}$max", DataType.FLOAT64, agg.column))
+    # Deduplicate (e.g. several counts share a column).
+    seen, unique = set(), []
+    for name, dtype, source in fields:
+        if name not in seen:
+            seen.add(name)
+            unique.append((name, dtype, source))
+    return unique
+
+
+def partial_state_schema(input_schema: Schema, group_by: Sequence[str],
+                         aggs) -> Schema:
+    """Schema of the partial-aggregate state stream."""
+    fields = [input_schema.field(g) for g in group_by]
+    fields += [Field(name, dtype) for name, dtype, _src in
+               _state_fields(aggs)]
+    return Schema(fields)
+
+
+def _reduce_states(groups: Chunk, inverse: np.ndarray, chunk: Chunk,
+                   aggs, schema: Schema, from_states: bool) -> Chunk:
+    """Collapse rows of ``chunk`` into one state row per group."""
+    n_groups = max(1, groups.num_rows) if groups.schema.names else 1
+    if groups.schema.names:
+        n_groups = groups.num_rows
+    columns = dict(groups.columns)
+    for name, dtype, source in _state_fields(aggs):
+        if from_states:
+            values = chunk.column(name)
+        elif name.endswith("$cnt"):
+            values = np.ones(chunk.num_rows, dtype=np.int64)
+        else:
+            values = chunk.column(source).astype(np.float64)
+        if name.endswith("$min"):
+            out = np.full(n_groups, np.inf)
+            np.minimum.at(out, inverse, values.astype(np.float64))
+        elif name.endswith("$max"):
+            out = np.full(n_groups, -np.inf)
+            np.maximum.at(out, inverse, values.astype(np.float64))
+        else:
+            out = np.bincount(inverse, weights=values.astype(np.float64),
+                              minlength=n_groups)
+            if name.endswith("$cnt"):
+                out = out.astype(np.int64)
+        columns[name] = out
+    return Chunk(schema, columns)
+
+
+class PartialAggregate(PhysicalOp):
+    """Stateless per-chunk pre-aggregation (raw rows -> state rows)."""
+
+    kind = OpKind.AGGREGATE
+
+    def __init__(self, input_schema: Schema, group_by: Sequence[str],
+                 aggs):
+        self.group_by = list(group_by)
+        self.aggs = list(aggs)
+        self.state_schema = partial_state_schema(input_schema, group_by,
+                                                 aggs)
+        self.name = f"partial_agg({','.join(group_by) or '*'})"
+
+    def process(self, chunk: Chunk) -> list[Emit]:
+        if chunk.num_rows == 0:
+            return []
+        groups, inverse = group_inverse(chunk, self.group_by)
+        state = _reduce_states(groups, inverse, chunk, self.aggs,
+                               self.state_schema, from_states=False)
+        return [Emit(state)]
+
+
+class MergeAggregate(PhysicalOp):
+    """Merge partial states; final=True holds state and emits the answer.
+
+    Non-final merges are stateless (per-chunk) and idempotent, so they
+    can be chained along the data path (§4.4's staged group-by).
+    """
+
+    kind = OpKind.AGGREGATE
+
+    def __init__(self, input_schema: Schema, group_by: Sequence[str],
+                 aggs, final: bool = False,
+                 output_schema: Optional[Schema] = None,
+                 batch: int = 8,
+                 expected_groups: Optional[int] = None):
+        self.group_by = list(group_by)
+        self.aggs = list(aggs)
+        self.state_schema = partial_state_schema(input_schema, group_by,
+                                                 aggs)
+        self.final = final
+        self.stateful = final
+        self.output_schema = output_schema
+        # Non-final merges coalesce a bounded window of `batch` state
+        # chunks before merging: that is what makes *chained* merge
+        # stages compound (§4.4) while keeping state bounded, which a
+        # NIC can afford.
+        self.batch = max(1, batch)
+        # For final merges on accelerators: a declared bound on the
+        # number of groups.  §4.4 allows aggregates with small results
+        # to finish on a NIC; the kernel compiler uses this bound to
+        # decide whether the state fits an accelerator's table.
+        self.expected_groups = expected_groups
+        self._accumulated: list[Chunk] = []
+        self.name = ("final_agg" if final else "merge_agg") + \
+            f"({','.join(group_by) or '*'})"
+        if final and output_schema is None:
+            raise ValueError("final merge requires an output schema")
+
+    def _merge(self, chunk: Chunk) -> Chunk:
+        groups, inverse = group_inverse(chunk, self.group_by)
+        return _reduce_states(groups, inverse, chunk, self.aggs,
+                              self.state_schema, from_states=True)
+
+    def process(self, chunk: Chunk) -> list[Emit]:
+        if chunk.num_rows == 0:
+            return []
+        if self.final:
+            self._accumulated.append(self._merge(chunk))
+            return []
+        self._accumulated.append(chunk)
+        if len(self._accumulated) < self.batch:
+            return []
+        window, self._accumulated = self._accumulated, []
+        return [Emit(self._merge(Chunk.concat(window)))]
+
+    def finish(self) -> list[Emit]:
+        if not self.final:
+            if not self._accumulated:
+                return []
+            window, self._accumulated = self._accumulated, []
+            return [Emit(self._merge(Chunk.concat(window)))]
+        if self._accumulated:
+            state = self._merge(Chunk.concat(self._accumulated))
+        else:
+            state = Chunk.empty(self.state_schema)
+        self._accumulated = []
+        return [Emit(self._finalize(state))]
+
+    def _finalize(self, state: Chunk) -> Chunk:
+        n = state.num_rows
+        if not self.group_by and n == 0:
+            # Scalar aggregate over an empty stream: count 0, sums 0.
+            state = Chunk(self.state_schema, {
+                f.name: np.zeros(1, dtype=f.numpy_dtype)
+                for f in self.state_schema.fields})
+            n = 1
+        columns = {g: state.column(g) for g in self.group_by}
+        for agg in self.aggs:
+            if agg.op == "sum":
+                columns[agg.alias] = state.column(f"{agg.alias}$sum")
+            elif agg.op == "count":
+                columns[agg.alias] = state.column(f"{agg.alias}$cnt")
+            elif agg.op == "min":
+                columns[agg.alias] = state.column(f"{agg.alias}$min")
+            elif agg.op == "max":
+                columns[agg.alias] = state.column(f"{agg.alias}$max")
+            elif agg.op == "avg":
+                sums = state.column(f"{agg.alias}$sum")
+                counts = state.column(f"{agg.alias}$cnt")
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    columns[agg.alias] = np.where(
+                        counts > 0, sums / counts, np.nan)
+        return Chunk(self.output_schema, columns)
+
+
+# ---------------------------------------------------------------------------
+# Hash join
+# ---------------------------------------------------------------------------
+
+class JoinState:
+    """Shared build-side state handed from build to probe."""
+
+    def __init__(self):
+        self.build_chunk: Optional[Chunk] = None
+        self.sorted_keys: Optional[np.ndarray] = None
+        self.sort_order: Optional[np.ndarray] = None
+
+    def install(self, chunk: Chunk, key: str) -> None:
+        self.build_chunk = chunk
+        keys = chunk.column(key)
+        self.sort_order = np.argsort(keys, kind="stable")
+        self.sorted_keys = keys[self.sort_order]
+
+    @property
+    def ready(self) -> bool:
+        return self.build_chunk is not None
+
+    def match(self, probe_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(probe_indices, build_indices) of all equi matches."""
+        left = np.searchsorted(self.sorted_keys, probe_keys, side="left")
+        right = np.searchsorted(self.sorted_keys, probe_keys, side="right")
+        counts = right - left
+        probe_idx = np.repeat(np.arange(len(probe_keys)), counts)
+        total = int(counts.sum())
+        if total == 0:
+            return (np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.int64))
+        # Ranges [left[i], right[i]) concatenated.
+        offsets = np.repeat(right - np.cumsum(counts), counts)
+        build_pos = np.arange(total) + offsets
+        return probe_idx, self.sort_order[build_pos]
+
+
+class HashJoinBuild(PhysicalOp):
+    """Accumulate the build side; installs state, emits nothing."""
+
+    kind = OpKind.JOIN_BUILD
+    stateful = True
+
+    def __init__(self, key: str, state: JoinState):
+        self.key = key
+        self.state = state
+        self._chunks: list[Chunk] = []
+        self.name = f"join_build({key})"
+
+    def process(self, chunk: Chunk) -> list[Emit]:
+        if chunk.num_rows:
+            self._chunks.append(chunk)
+        return []
+
+    def finish(self) -> list[Emit]:
+        if self._chunks:
+            combined = Chunk.concat(self._chunks)
+        else:
+            combined = None
+        if combined is None:
+            # Install an empty build so probes produce nothing.
+            empty_keys = np.empty(0, dtype=np.int64)
+            state_chunk = Chunk(Schema([Field(self.key, DataType.INT64)]),
+                                {self.key: empty_keys})
+            self.state.install(state_chunk, self.key)
+        else:
+            self.state.install(combined, self.key)
+        self._chunks = []
+        return []
+
+
+class HashJoinProbe(PhysicalOp):
+    """Probe the installed build side, streaming joined chunks."""
+
+    kind = OpKind.JOIN_PROBE
+
+    def __init__(self, probe_key: str, state: JoinState,
+                 output_schema: Schema, build_rename: dict[str, str]):
+        self.probe_key = probe_key
+        self.state = state
+        self.output_schema = output_schema
+        self.build_rename = build_rename
+        self.name = f"join_probe({probe_key})"
+
+    def process(self, chunk: Chunk) -> list[Emit]:
+        if chunk.num_rows == 0:
+            return []
+        if not self.state.ready:
+            raise RuntimeError("probe before build finished")
+        probe_idx, build_idx = self.state.match(chunk.column(self.probe_key))
+        if len(probe_idx) == 0:
+            return []
+        probe_rows = chunk.take(probe_idx)
+        build_rows = self.state.build_chunk.take(build_idx)
+        columns = dict(probe_rows.columns)
+        for name in build_rows.schema.names:
+            out_name = self.build_rename.get(name, name)
+            if out_name in self.output_schema:
+                columns[out_name] = build_rows.columns[name]
+        # Restrict to the declared output schema (order included).
+        columns = {n: columns[n] for n in self.output_schema.names}
+        return [Emit(Chunk(self.output_schema, columns))]
+
+
+# ---------------------------------------------------------------------------
+# Sort / limit
+# ---------------------------------------------------------------------------
+
+class SortOp(PhysicalOp):
+    """Accumulate and sort at end of stream (blocking)."""
+
+    kind = OpKind.SORT
+    stateful = True
+
+    def __init__(self, keys: Sequence[str]):
+        self.keys = list(keys)
+        self._chunks: list[Chunk] = []
+        self.name = f"sort({','.join(self.keys)})"
+
+    def process(self, chunk: Chunk) -> list[Emit]:
+        if chunk.num_rows:
+            self._chunks.append(chunk)
+        return []
+
+    def finish(self) -> list[Emit]:
+        if not self._chunks:
+            return []
+        combined = Chunk.concat(self._chunks)
+        self._chunks = []
+        # lexsort: last key is primary, so reverse.
+        order = np.lexsort([combined.column(k)
+                            for k in reversed(self.keys)])
+        return [Emit(combined.take(order))]
+
+
+def _sort_key_records(chunk: Chunk, keys: Sequence[str]) -> np.ndarray:
+    """The sort keys of a chunk as one comparable structured array."""
+    dtype = [(k, chunk.columns[k].dtype) for k in keys]
+    records = np.empty(chunk.num_rows, dtype=dtype)
+    for k in keys:
+        records[k] = chunk.columns[k]
+    return records
+
+
+def merge_sorted(a: Chunk, b: Chunk, keys: Sequence[str]) -> Chunk:
+    """Stable merge of two key-sorted chunks (a true linear merge).
+
+    This is the cheap half of pre-sorted execution: runs arrive
+    already ordered, so combining them costs a merge, not a sort.
+    """
+    if a.num_rows == 0:
+        return b
+    if b.num_rows == 0:
+        return a
+    ka = _sort_key_records(a, keys)
+    kb = _sort_key_records(b, keys)
+    # Stable: equal keys keep a-rows (the earlier run) first.
+    insert_at = np.searchsorted(ka, kb, side="right")
+    total = a.num_rows + b.num_rows
+    b_positions = insert_at + np.arange(b.num_rows)
+    from_b = np.zeros(total, dtype=bool)
+    from_b[b_positions] = True
+    columns = {}
+    for name in a.schema.names:
+        out = np.empty(total, dtype=a.columns[name].dtype)
+        out[from_b] = b.columns[name]
+        out[~from_b] = a.columns[name]
+        columns[name] = out
+    return Chunk(a.schema, columns)
+
+
+class SortRuns(PhysicalOp):
+    """Sort each chunk independently: bounded-state run generation.
+
+    §3.3's "pre-sorting ... probably only to parts of the data rather
+    than to the entire data set": a storage CU or NIC can sort one
+    chunk at a time without holding the stream, emitting sorted runs
+    a downstream merge combines cheaply.
+    """
+
+    kind = OpKind.SORT
+
+    def __init__(self, keys: Sequence[str]):
+        self.keys = list(keys)
+        self.name = f"sort_runs({','.join(self.keys)})"
+
+    def process(self, chunk: Chunk) -> list[Emit]:
+        if chunk.num_rows == 0:
+            return []
+        order = np.lexsort([chunk.column(k)
+                            for k in reversed(self.keys)])
+        return [Emit(chunk.take(order))]
+
+
+class MergeRuns(PhysicalOp):
+    """Merge pre-sorted runs into a total order (stateful, at the CPU).
+
+    The device work is GENERIC (a linear merge), not SORT — the point
+    of pre-sorting upstream is exactly that the expensive comparison
+    work already happened where the data was.
+    """
+
+    kind = OpKind.GENERIC
+    stateful = True
+
+    def __init__(self, keys: Sequence[str]):
+        self.keys = list(keys)
+        self._runs: list[Chunk] = []
+        self.name = f"merge_runs({','.join(self.keys)})"
+
+    def process(self, chunk: Chunk) -> list[Emit]:
+        if chunk.num_rows:
+            self._runs.append(chunk)
+        return []
+
+    def finish(self) -> list[Emit]:
+        if not self._runs:
+            return []
+        runs, self._runs = self._runs, []
+        # Tournament-style pairwise merging: log(k) passes.
+        while len(runs) > 1:
+            merged = []
+            for i in range(0, len(runs) - 1, 2):
+                merged.append(merge_sorted(runs[i], runs[i + 1],
+                                           self.keys))
+            if len(runs) % 2:
+                merged.append(runs[-1])
+            runs = merged
+        return [Emit(runs[0])]
+
+
+class LimitOp(PhysicalOp):
+    """Pass through the first ``n`` rows."""
+
+    kind = OpKind.GENERIC
+
+    def __init__(self, n: int):
+        self.n = n
+        self._seen = 0
+        self.name = f"limit({n})"
+
+    def process(self, chunk: Chunk) -> list[Emit]:
+        if self._seen >= self.n or chunk.num_rows == 0:
+            return []
+        remaining = self.n - self._seen
+        if chunk.num_rows > remaining:
+            chunk = chunk.slice(0, remaining)
+        self._seen += chunk.num_rows
+        return [Emit(chunk)]

@@ -1,0 +1,71 @@
+"""Query results with movement and utilization accounting.
+
+Both engines return a :class:`QueryResult`.  Because multiple queries
+can share one fabric (the scheduler does exactly that), per-query
+numbers are computed as *deltas* of the fabric trace between query
+start and finish, via :class:`TraceSnapshot`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..relational.table import Table
+from ..sim import Trace
+
+__all__ = ["TraceSnapshot", "QueryResult"]
+
+
+class TraceSnapshot:
+    """Counter snapshot for computing per-query deltas."""
+
+    def __init__(self, trace: Trace):
+        self.trace = trace
+        self._at = dict(trace.counters)
+
+    def delta(self, counter: str) -> float:
+        return self.trace.counter(counter) - self._at.get(counter, 0.0)
+
+    def delta_prefix(self, prefix: str) -> dict[str, float]:
+        out = {}
+        for key, value in self.trace.counters.items():
+            if key.startswith(prefix):
+                diff = value - self._at.get(key, 0.0)
+                if diff:
+                    out[key[len(prefix):]] = diff
+        return out
+
+
+@dataclass
+class QueryResult:
+    """Outcome of executing one query on one engine."""
+
+    table: Table
+    elapsed: float
+    engine: str
+    movement: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+    peak_compute_dram: float = 0.0
+
+    @property
+    def rows(self) -> int:
+        return self.table.num_rows
+
+    @property
+    def total_bytes_moved(self) -> float:
+        """Bytes moved across all segments (each hop counted once)."""
+        return sum(self.movement.values())
+
+    def bytes_on(self, segment: str) -> float:
+        """Bytes moved on one segment class (``network``, ``pcie``...)."""
+        return self.movement.get(f"{segment}.bytes", 0.0)
+
+    def summary(self) -> dict[str, float]:
+        """A flat dict convenient for printing benchmark rows."""
+        out = {"engine": self.engine, "rows": self.rows,
+               "elapsed_s": self.elapsed,
+               "total_moved_bytes": self.total_bytes_moved}
+        for segment, value in sorted(self.movement.items()):
+            out[f"moved_{segment.replace('.bytes', '')}"] = value
+        return out

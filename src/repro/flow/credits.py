@@ -1,0 +1,131 @@
+"""Credit-based flow control between pipeline stages (§7.1).
+
+The paper's data-movement design: queues placed strategically along
+the pipeline, connected by DMA engines, with *credit-based* flow
+control — the receiver grants the sender a budget of queue slots, and
+a low-traffic counter-stream of credit messages replenishes it.  This
+is the mechanism PCIe itself uses.
+
+A :class:`CreditChannel` connects a producing stage to a consuming
+stage's inbox across a path of fabric links.  Sends block until a
+credit is available, so the consumer-side queue occupancy can never
+exceed the credit window — the invariant bench C3 sweeps.  Credit
+returns travel the reverse path as tiny control messages: they pay
+latency and are counted (``flow.<name>.control_bytes``) but do not
+occupy link bandwidth, matching their negligible size.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..hardware.device import Device, OpKind
+from ..hardware.interconnect import Link
+from ..sim import Simulator, Store, Trace
+from .ratelimit import RateLimiter
+
+__all__ = ["END", "CreditChannel"]
+
+
+class _EndOfStream:
+    """Sentinel closing one producer's contribution to a channel."""
+
+    def __repr__(self):
+        return "END"
+
+
+END = _EndOfStream()
+
+
+class CreditChannel:
+    """A flow-controlled, link-crossing connection into a stage inbox."""
+
+    def __init__(self, sim: Simulator, trace: Trace, name: str,
+                 links: list[Link], inbox: Store, credits: int = 8,
+                 control_bytes: int = 16,
+                 rate_limiter: Optional[RateLimiter] = None,
+                 cpu_mediator: Optional[Device] = None):
+        if credits < 1:
+            raise ValueError("credit window must be >= 1")
+        self.sim = sim
+        self.trace = trace
+        self.name = name
+        self.links = list(links)
+        self.inbox = inbox
+        self.credits = credits
+        self.control_bytes = control_bytes
+        self.rate_limiter = rate_limiter
+        self.cpu_mediator = cpu_mediator
+        self._tokens = Store(sim, capacity=credits,
+                             name=f"{name}.credits")
+        for _ in range(credits):
+            self._tokens.items.append(True)
+        self.in_flight_or_queued = 0
+        self.max_outstanding = 0
+        self._reverse_latency = sum(l.latency for l in self.links)
+
+    # -- sending ---------------------------------------------------------
+
+    def send(self, payload: Any, nbytes: float) -> Generator:
+        """Ship ``payload`` (``nbytes`` on the wire) to the inbox.
+
+        Blocks on the credit window, the optional rate limiter, and
+        link *serialization* (port occupancy for nbytes/bandwidth at
+        each hop).  Propagation latency is paid asynchronously — the
+        message is "on the wire" and the sender may pipeline the next
+        one, which is why a window larger than the bandwidth-delay
+        product is needed to keep a long pipe full (bench C3).
+        """
+        yield self._tokens.get()
+        self.in_flight_or_queued += 1
+        self.max_outstanding = max(self.max_outstanding,
+                                   self.in_flight_or_queued)
+        if self.rate_limiter is not None and nbytes > 0:
+            yield from self.rate_limiter.acquire(nbytes)
+        propagation = 0.0
+        for link in self.links:
+            yield link._ports.request()
+            try:
+                yield self.sim.timeout(nbytes / link.bandwidth)
+            finally:
+                link._ports.release()
+            propagation += link.latency
+            self.trace.add(f"link.{link.name}.bytes", nbytes)
+            self.trace.add(f"movement.{link.segment}.bytes", nbytes)
+            self.trace.add(f"flow.{self.name}.bytes", nbytes)
+            if self.cpu_mediator is not None and nbytes > 0:
+                # CPU-mediated copy at every hop (ablation A2): the
+                # host core touches the data instead of a DMA engine.
+                yield from self.cpu_mediator.execute(OpKind.GENERIC, nbytes)
+        self.sim.process(self._deliver(payload, propagation),
+                         name=f"{self.name}.wire")
+        self.trace.add(f"flow.{self.name}.messages", 1)
+
+    def _deliver(self, payload: Any, propagation: float) -> Generator:
+        yield self.sim.timeout(propagation)
+        yield self.inbox.put((self, payload))
+
+    def send_end(self) -> Generator:
+        """Close this producer's stream (consumes a credit like data)."""
+        yield from self.send(END, 0.0)
+
+    # -- receiving ---------------------------------------------------------
+
+    def ack(self) -> None:
+        """Consumer finished one message: return a credit.
+
+        The credit message travels the reverse path (latency only) and
+        is counted as control traffic — the counter-stream of §7.1.
+        """
+        self.sim.process(self._return_credit(), name=f"{self.name}.credit")
+
+    def _return_credit(self) -> Generator:
+        if self._reverse_latency > 0:
+            yield self.sim.timeout(self._reverse_latency)
+        else:
+            yield self.sim.timeout(0.0)
+        self.in_flight_or_queued -= 1
+        yield self._tokens.put(True)
+        self.trace.add(f"flow.{self.name}.control_bytes",
+                       self.control_bytes)
+        self.trace.add("flow.control.total_bytes", self.control_bytes)

@@ -1,0 +1,64 @@
+"""Token-bucket rate limiting for DMA-driven flows (§7.3).
+
+The scheduler's second lever: "if DMA engines push the data through a
+large portion of query plans, the scheduler should be able to rate
+limit the bandwidth used... dynamically."  A :class:`RateLimiter`
+meters bytes; stages and channels ``acquire`` before moving data, and
+the scheduler adjusts ``rate`` at runtime.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator, Optional
+
+from ..sim import Simulator
+
+__all__ = ["RateLimiter"]
+
+
+class RateLimiter:
+    """A deterministic token bucket metering bytes per second."""
+
+    def __init__(self, sim: Simulator, rate: float,
+                 burst: Optional[float] = None):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.sim = sim
+        self.rate = rate
+        self.burst = burst if burst is not None else rate * 0.01
+        self._tokens = self.burst
+        self._last = sim.now
+
+    def _refill(self) -> None:
+        now = self.sim.now
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._last) * self.rate)
+        self._last = now
+
+    def set_rate(self, rate: float) -> None:
+        """Adjust the sustained rate (takes effect immediately)."""
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self._refill()
+        self.rate = rate
+        self.burst = max(self.burst, rate * 0.01)
+
+    def acquire(self, nbytes: float) -> Generator:
+        """Wait until ``nbytes`` of budget is available, then spend it.
+
+        Requests larger than the burst are admitted by paying the
+        full serialization delay (they cannot fit in the bucket).
+        """
+        self._refill()
+        if self._tokens >= nbytes:
+            self._tokens -= nbytes
+            yield self.sim.timeout(0.0)
+            return
+        deficit = nbytes - self._tokens
+        self._tokens = 0.0
+        wait = deficit / self.rate
+        if not math.isfinite(wait):
+            raise ValueError(f"non-finite wait for {nbytes} bytes")
+        yield self.sim.timeout(wait)
+        self._last = self.sim.now

@@ -1,0 +1,361 @@
+"""Stage graphs: the push-based data-flow execution runtime.
+
+A :class:`StageGraph` is the physical form of a query in the paper's
+architecture: *stages* pinned to processing sites along the data path
+(storage CU, storage NIC, compute NIC, near-memory accelerator, CPU),
+connected by credit-controlled channels that cross the fabric's links.
+Chunks are *pushed*: as soon as a stage produces output it flows
+downstream, so the whole pipeline streams — the opposite of the
+pull-based Volcano model (§1, §7).
+
+Each stage is one simulation process.  Its loop: take a message from
+the inbox, run the chunk through the stage's operator chain (charging
+the stage's device for every operator), route the results to output
+channels, return the credit.  Stateful operators flush at end of
+stream.  ``depends_on`` lets a probe stage wait for its build stage —
+the one control dependency hash joins need.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Generator, Iterable, Optional, Sequence
+
+from ..engine.operators import Emit, PhysicalOp
+from ..hardware.device import Device
+from ..hardware.storage import StorageMedium
+from ..relational.table import Chunk, Table
+from ..sim import Event, Simulator, Store, Trace
+from .credits import END, CreditChannel
+from .ratelimit import RateLimiter
+
+__all__ = ["Stage", "StageGraph", "FlowResult"]
+
+
+class Stage:
+    """One pipeline stage: an operator chain pinned to a device."""
+
+    def __init__(self, graph: "StageGraph", name: str,
+                 device: Optional[Device], location: str,
+                 ops: Sequence[PhysicalOp] = (),
+                 router: str = "single",
+                 depends_on: Iterable[Event] = (),
+                 source_table: Optional[Table] = None,
+                 medium: Optional[StorageMedium] = None,
+                 is_sink: bool = False):
+        if router not in ("single", "partition", "broadcast",
+                          "round_robin"):
+            raise ValueError(f"unknown router {router!r}")
+        self.graph = graph
+        self.name = name
+        self.device = device
+        self.location = location
+        self.ops = list(ops)
+        self.router = router
+        self.depends_on = list(depends_on)
+        self.source_table = source_table
+        self.medium = medium
+        self.is_sink = is_sink
+        self.inbox = Store(graph.sim, name=f"{graph.name}.{name}.inbox")
+        self.inputs: list[CreditChannel] = []
+        self.outputs: list[CreditChannel] = []
+        self.done: Event = graph.sim.event()
+        self.done_at: Optional[float] = None
+        self.collected: list[Chunk] = []
+        self.rows_in = 0
+        self.rows_out = 0
+        self._rr = itertools.count()
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> Generator:
+        """The stage's simulation process."""
+        for evt in self.depends_on:
+            yield evt
+        if self.device is not None and self.device.programmable:
+            yield from self._install_kernels()
+        if self.source_table is not None:
+            yield from self._run_source()
+        else:
+            yield from self._run_consumer()
+        yield from self._flush()
+        for out in self.outputs:
+            yield from out.send_end()
+        self.done_at = self.graph.sim.now
+        self.done.succeed(self.name)
+
+    def _install_kernels(self) -> Generator:
+        """Program an ISA-less accelerator with this stage's kernels.
+
+        §7.2: accelerators are configured through register writes and
+        logic installation, not instructions.  Kernel compilation also
+        re-checks that every operator *has* a kernel form — stateful
+        operators reaching a programmable device is a placement bug.
+        """
+        from ..engine.kernels import (
+            KernelUnsupported,
+            compile_kernel,
+            install_kernel,
+        )
+        for op in self.ops:
+            try:
+                kernel = compile_kernel(op)
+            except KernelUnsupported as exc:
+                raise RuntimeError(
+                    f"stage {self.name!r}: operator {op.name!r} cannot "
+                    f"run on programmable device "
+                    f"{self.device.name!r}: {exc}") from exc
+            yield from install_kernel(self.device, kernel)
+
+    def _run_source(self) -> Generator:
+        for chunk in self.source_table.chunks:
+            if chunk.num_rows == 0:
+                continue
+            if self.medium is not None:
+                yield from self.medium.read(chunk.nbytes)
+            yield from self._process(chunk)
+
+    def _run_consumer(self) -> Generator:
+        remaining = len(self.inputs)
+        if remaining == 0:
+            raise RuntimeError(
+                f"stage {self.name!r} has no inputs and no source")
+        while remaining > 0:
+            channel, payload = yield self.inbox.get()
+            self.graph.trace.sample(
+                f"stage.{self.graph.name}.{self.name}.inbox",
+                self.graph.sim.now, len(self.inbox))
+            if payload is END:
+                remaining -= 1
+            else:
+                yield from self._process(payload)
+            channel.ack()
+
+    def _process(self, chunk: Chunk) -> Generator:
+        self.rows_in += chunk.num_rows
+        emits = yield from self._apply(chunk, start=0)
+        yield from self._route(emits)
+
+    def _apply(self, chunk: Chunk, start: int) -> Generator:
+        """Run ``chunk`` through ops[start:]; returns resulting emits."""
+        emits = [Emit(chunk)]
+        for op in self.ops[start:]:
+            produced: list[Emit] = []
+            for emit in emits:
+                if self.device is not None:
+                    yield from self.device.execute(
+                        op.kind, op.charge_bytes(emit.chunk))
+                    for kind, nbytes in op.extra_charges(emit.chunk):
+                        yield from self.device.execute(kind, nbytes)
+                produced.extend(op.process(emit.chunk))
+            emits = produced
+            if not emits:
+                break
+        return emits
+
+    def _flush(self) -> Generator:
+        """End of stream: flush stateful operators in chain order."""
+        for index, op in enumerate(self.ops):
+            for emit in op.finish():
+                if self.device is not None:
+                    yield from self.device.execute(
+                        op.kind, emit.chunk.nbytes)
+                downstream = yield from self._apply_tail(
+                    emit, start=index + 1)
+                yield from self._route(downstream)
+
+    def _apply_tail(self, emit: Emit, start: int) -> Generator:
+        if start >= len(self.ops):
+            return [emit]
+        result = yield from self._apply(emit.chunk, start=start)
+        return result
+
+    def _route(self, emits: list[Emit]) -> Generator:
+        for emit in emits:
+            self.rows_out += emit.chunk.num_rows
+            if self.is_sink or not self.outputs:
+                self.collected.append(emit.chunk)
+                continue
+            nbytes = float(emit.chunk.nbytes)
+            if self.router == "single":
+                yield from self.outputs[0].send(emit.chunk, nbytes)
+            elif self.router == "round_robin":
+                out = self.outputs[next(self._rr) % len(self.outputs)]
+                yield from out.send(emit.chunk, nbytes)
+            elif self.router == "broadcast":
+                for out in self.outputs:
+                    yield from out.send(emit.chunk, nbytes)
+            elif self.router == "partition":
+                if emit.route is None:
+                    raise RuntimeError(
+                        f"stage {self.name!r}: partition router needs "
+                        f"routed emits (last op must be a PartitionOp)")
+                if emit.route >= len(self.outputs):
+                    raise RuntimeError(
+                        f"stage {self.name!r}: route {emit.route} but "
+                        f"only {len(self.outputs)} outputs")
+                yield from self.outputs[emit.route].send(emit.chunk, nbytes)
+
+    # -- results ---------------------------------------------------------
+
+    def result_table(self) -> Table:
+        """Collected chunks as a table (sinks only)."""
+        if not self.collected:
+            raise RuntimeError(
+                f"stage {self.name!r} collected nothing "
+                "(not a sink, or the query produced no rows)")
+        table = Table(self.collected[0].schema)
+        for chunk in self.collected:
+            table.append(chunk)
+        return table
+
+    def __repr__(self):
+        return f"<Stage {self.name} @ {self.location}>"
+
+
+@dataclass
+class FlowResult:
+    """Outcome of running a stage graph."""
+
+    tables: dict[str, Table]
+    elapsed: float
+    started_at: float
+    finished_at: float
+    trace: Trace
+    stages: dict[str, "Stage"] = field(default_factory=dict)
+
+    def table(self, sink: str = "") -> Table:
+        """The (single, by default) sink's result table."""
+        if sink:
+            return self.tables[sink]
+        if len(self.tables) != 1:
+            raise ValueError(
+                f"specify a sink: have {sorted(self.tables)}")
+        return next(iter(self.tables.values()))
+
+
+class StageGraph:
+    """A set of stages plus the channels wiring them together."""
+
+    def __init__(self, fabric, name: str = "q0",
+                 default_credits: int = 8):
+        self.fabric = fabric
+        self.sim: Simulator = fabric.sim
+        self.trace: Trace = fabric.trace
+        self.name = name
+        self.default_credits = default_credits
+        self.stages: dict[str, Stage] = {}
+        self.channels: list[CreditChannel] = []
+        self.started_at: Optional[float] = None
+        self._started = False
+
+    # -- construction ------------------------------------------------------
+
+    def _add(self, stage: Stage) -> Stage:
+        if stage.name in self.stages:
+            raise ValueError(f"duplicate stage name {stage.name!r}")
+        self.stages[stage.name] = stage
+        return stage
+
+    def source(self, name: str, table: Table,
+               medium: Optional[StorageMedium] = None,
+               location: Optional[str] = None,
+               site: Optional[str] = None,
+               ops: Sequence[PhysicalOp] = (),
+               router: str = "single") -> Stage:
+        """A stage that reads ``table`` (off ``medium`` if given).
+
+        ``site`` optionally charges the ops to a fabric device (e.g.
+        a storage CU filtering as it reads); otherwise ops are free —
+        pass none in that case.
+        """
+        device = self.fabric.site_device(site) if site else None
+        if location is None:
+            location = (self.fabric.site_location(site) if site
+                        else self.fabric.storage_location)
+        return self._add(Stage(self, name, device, location, ops=ops,
+                               router=router, source_table=table,
+                               medium=medium))
+
+    def stage(self, name: str, site: str,
+              ops: Sequence[PhysicalOp],
+              router: str = "single",
+              depends_on: Iterable[Event] = ()) -> Stage:
+        """A processing stage pinned to a fabric site."""
+        device = self.fabric.site_device(site)
+        location = self.fabric.site_location(site)
+        return self._add(Stage(self, name, device, location, ops=ops,
+                               router=router, depends_on=depends_on))
+
+    def sink(self, name: str, site: str,
+             ops: Sequence[PhysicalOp] = (),
+             depends_on: Iterable[Event] = ()) -> Stage:
+        """A terminal stage that collects its output chunks."""
+        device = self.fabric.site_device(site)
+        location = self.fabric.site_location(site)
+        return self._add(Stage(self, name, device, location, ops=ops,
+                               depends_on=depends_on, is_sink=True))
+
+    def connect(self, src: Stage, dst: Stage,
+                credits: Optional[int] = None,
+                rate_limiter: Optional[RateLimiter] = None,
+                cpu_mediator: Optional[Device] = None) -> CreditChannel:
+        """Wire ``src`` to ``dst`` across the fabric route between them."""
+        links = self.fabric.route(src.location, dst.location)
+        channel = CreditChannel(
+            self.sim, self.trace,
+            name=f"{self.name}.{src.name}->{dst.name}",
+            links=links, inbox=dst.inbox,
+            credits=credits if credits is not None else
+            self.default_credits,
+            rate_limiter=rate_limiter, cpu_mediator=cpu_mediator)
+        src.outputs.append(channel)
+        dst.inputs.append(channel)
+        self.channels.append(channel)
+        return channel
+
+    # -- execution ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Launch every stage as a simulation process."""
+        if self._started:
+            raise RuntimeError("stage graph already started")
+        self._validate()
+        self._started = True
+        self.started_at = self.sim.now
+        for stage in self.stages.values():
+            self.sim.process(stage.run(),
+                             name=f"{self.name}.{stage.name}")
+
+    def _validate(self) -> None:
+        for stage in self.stages.values():
+            if stage.source_table is None and not stage.inputs:
+                raise RuntimeError(
+                    f"stage {stage.name!r} has no inputs; "
+                    "connect it or make it a source")
+
+    def result(self) -> FlowResult:
+        """Collect results (call after the simulator has run)."""
+        finished = [s.done_at for s in self.stages.values()]
+        if any(t is None for t in finished):
+            unfinished = [s.name for s in self.stages.values()
+                          if s.done_at is None]
+            raise RuntimeError(f"stages never finished: {unfinished} "
+                               "(likely a wiring or deadlock problem)")
+        tables = {s.name: s.result_table()
+                  for s in self.stages.values()
+                  if s.is_sink and s.collected}
+        finished_at = max(finished)
+        return FlowResult(tables=tables,
+                          elapsed=finished_at - self.started_at,
+                          started_at=self.started_at,
+                          finished_at=finished_at,
+                          trace=self.trace,
+                          stages=dict(self.stages))
+
+    def run(self) -> FlowResult:
+        """Start, run the fabric to completion, and collect results."""
+        self.start()
+        self.fabric.run()
+        return self.result()

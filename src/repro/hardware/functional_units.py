@@ -1,0 +1,216 @@
+"""Near-memory functional units with real data behaviour (§5.4).
+
+The paper asks *what functional units should a near-memory accelerator
+carry* and proposes four: value/range filters with on-demand
+decompression, a pointer-dereferencing unit for hierarchical
+traversals, a data-transposition unit for HTAP format conversion, and
+fast list primitives for memory-centric maintenance work.
+
+This module implements the data structures those units operate on —
+most importantly :class:`HierarchicalBlockStore`, a B-tree-like block
+layout over sorted keys — and the two traversal strategies the paper
+contrasts:
+
+* :func:`chase_on_cpu`: every visited block crosses the memory
+  controller and the cache hierarchy before the CPU can decide which
+  block to fetch next (a round trip per level);
+* :func:`chase_near_memory`: the traversal happens inside the
+  memory system and only the matching leaf payload moves up.
+
+Both return the same answer (they walk the same real tree); only the
+movement differs — which is the claim bench F5 measures.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Generator, Optional, Sequence
+
+from ..sim import Trace
+from .cpu import CPUSocket, LRUCache
+from .device import Device, OpKind
+
+__all__ = [
+    "Block",
+    "HierarchicalBlockStore",
+    "chase_on_cpu",
+    "chase_near_memory",
+    "FreeList",
+    "gc_on_cpu",
+    "gc_near_memory",
+]
+
+
+@dataclass
+class Block:
+    """One fixed-size block: either internal (routing) or leaf (data)."""
+
+    block_id: int
+    keys: list[int]
+    children: list[int] = field(default_factory=list)  # internal only
+    values: list[int] = field(default_factory=list)    # leaf only
+    nbytes: int = 4096
+    min_key: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class HierarchicalBlockStore:
+    """A static B-tree-like index over sorted integer keys.
+
+    Built bottom-up with a fixed fanout; blocks live in a flat
+    dictionary addressed by block id, mimicking pages in memory.
+    """
+
+    def __init__(self, keys: Sequence[int], fanout: int = 16,
+                 leaf_capacity: int = 64, block_bytes: int = 4096):
+        if fanout < 2:
+            raise ValueError("fanout must be >= 2")
+        if leaf_capacity < 1:
+            raise ValueError("leaf_capacity must be >= 1")
+        sorted_keys = sorted(keys)
+        if sorted_keys != list(keys):
+            raise ValueError("keys must be sorted")
+        if not sorted_keys:
+            raise ValueError("store requires at least one key")
+        self.fanout = fanout
+        self.block_bytes = block_bytes
+        self.blocks: dict[int, Block] = {}
+        self._next_id = 0
+        # Leaves: key -> value is identity*2+1 so tests can check payloads.
+        level = []
+        for start in range(0, len(sorted_keys), leaf_capacity):
+            chunk = sorted_keys[start:start + leaf_capacity]
+            leaf = self._new_block(keys=chunk,
+                                   values=[k * 2 + 1 for k in chunk],
+                                   min_key=chunk[0])
+            level.append(leaf)
+        # Internal levels, bottom-up.  A child's smallest reachable key
+        # (min_key) supplies the separator, so single-key internal
+        # blocks and deep trees route correctly.
+        while len(level) > 1:
+            parents = []
+            for start in range(0, len(level), fanout):
+                group = level[start:start + fanout]
+                separators = [blk.min_key for blk in group[1:]]
+                parent = self._new_block(
+                    keys=separators,
+                    children=[blk.block_id for blk in group],
+                    min_key=group[0].min_key)
+                parents.append(parent)
+            level = parents
+        self.root_id = level[0].block_id
+
+    def _new_block(self, keys: list[int], children: list[int] = None,
+                   values: list[int] = None, min_key: int = 0) -> Block:
+        block = Block(self._next_id, keys, children or [], values or [],
+                      nbytes=self.block_bytes, min_key=min_key)
+        self.blocks[self._next_id] = block
+        self._next_id += 1
+        return block
+
+    @property
+    def height(self) -> int:
+        """Number of blocks on a root-to-leaf path."""
+        depth, block = 1, self.blocks[self.root_id]
+        while not block.is_leaf:
+            block = self.blocks[block.children[0]]
+            depth += 1
+        return depth
+
+    def traverse(self, key: int) -> list[Block]:
+        """Root-to-leaf path of blocks visited for ``key``."""
+        path = []
+        block = self.blocks[self.root_id]
+        while True:
+            path.append(block)
+            if block.is_leaf:
+                return path
+            index = bisect.bisect_right(block.keys, key)
+            block = self.blocks[block.children[index]]
+
+    def lookup(self, key: int) -> Optional[int]:
+        """Pure lookup (no simulation): the stored value or None."""
+        leaf = self.traverse(key)[-1]
+        index = bisect.bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return leaf.values[index]
+        return None
+
+
+def chase_on_cpu(store: HierarchicalBlockStore, key: int,
+                 socket: CPUSocket, cache: Optional[LRUCache] = None,
+                 stream_id: int = 0) -> Generator:
+    """Traverse on the CPU: each block crosses memory bus + caches.
+
+    An optional :class:`LRUCache` models the LLC holding hot upper
+    levels; cached blocks skip the memory-bus crossing (but the CPU
+    still inspects them).  Returns the lookup result.
+    """
+    core = socket.core(stream_id)
+    for block in store.traverse(key):
+        hit = cache.access(block.block_id) if cache is not None else False
+        if not hit:
+            yield from socket.memory_read(block.nbytes, stream_id=stream_id)
+        yield from core.execute(OpKind.POINTER_CHASE, block.nbytes)
+    return store.lookup(key)
+
+
+def chase_near_memory(store: HierarchicalBlockStore, key: int,
+                      accelerator: Device, socket: CPUSocket,
+                      stream_id: int = 0) -> Generator:
+    """Traverse near memory: only the leaf moves toward the CPU (§5.4).
+
+    The accelerator walks every level (charged at its pointer-chase
+    rate, internal to the memory system), then a single leaf block
+    crosses the controller and caches to the requesting core.
+    Returns the lookup result.
+    """
+    path = store.traverse(key)
+    traversal_bytes = sum(block.nbytes for block in path)
+    yield from accelerator.execute(OpKind.POINTER_CHASE, traversal_bytes)
+    leaf = path[-1]
+    yield from socket.memory_read(leaf.nbytes, stream_id=stream_id)
+    return store.lookup(key)
+
+
+class FreeList:
+    """A linked free-list, the target of §5.4's list-maintenance unit.
+
+    Nodes are block ids; a garbage-collection pass walks the list and
+    unlinks dead nodes.  Implemented for real so correctness of the
+    offloaded version is checkable.
+    """
+
+    def __init__(self, node_ids: Sequence[int], node_bytes: int = 64):
+        self.nodes = list(node_ids)
+        self.node_bytes = node_bytes
+
+    def collect(self, dead: set[int]) -> int:
+        """Unlink all nodes in ``dead``; returns how many were removed."""
+        before = len(self.nodes)
+        self.nodes = [n for n in self.nodes if n not in dead]
+        return before - len(self.nodes)
+
+
+def gc_on_cpu(free_list: FreeList, dead: set[int],
+              socket: CPUSocket, stream_id: int = 0) -> Generator:
+    """Garbage-collect on the CPU: the whole list streams to the core."""
+    total = len(free_list.nodes) * free_list.node_bytes
+    yield from socket.memory_read(total, stream_id=stream_id)
+    core = socket.core(stream_id)
+    yield from core.execute(OpKind.LIST_MAINTENANCE, total)
+    return free_list.collect(dead)
+
+
+def gc_near_memory(free_list: FreeList, dead: set[int],
+                   accelerator: Device, trace: Trace) -> Generator:
+    """Garbage-collect near memory: nothing crosses toward the CPU."""
+    total = len(free_list.nodes) * free_list.node_bytes
+    yield from accelerator.execute(OpKind.LIST_MAINTENANCE, total)
+    removed = free_list.collect(dead)
+    trace.add("nearmem.gc.removed", removed)
+    return removed

@@ -1,0 +1,67 @@
+"""GPUs as data-path processing elements (§2.3, §4.2).
+
+The paper: "when moving data from the storage layer to the GPU,
+conventional network stacks require to go through the CPU with copies
+of the data being made along the way and blocking CPU resources.
+This has led to ways to bypass the CPU [GPUDirect] and also to smart
+NICs that can not only communicate directly with the GPU but also
+perform processing on the network data stream on the fly ... Their
+use in database engines is yet to be explored."
+
+A :class:`GPU` is a device with very high streaming throughput for
+the massively parallel kinds (filter, hash, join probe, aggregate)
+but a meaningful per-kernel launch latency, sitting behind a host
+interconnect.  The fabric can attach it two ways (see
+``FabricSpec.gpu``): reachable only through host DRAM (the
+conventional path) or *also* directly from the NIC (GPUDirect) —
+bench E6 compares the two.
+"""
+
+from __future__ import annotations
+
+from ..sim import Simulator, Trace
+from .device import GIB, Device, OpKind
+
+__all__ = ["GPU", "gpu_rates"]
+
+
+def gpu_rates(hbm_bandwidth: float = 100.0 * GIB) -> dict[str, float]:
+    """Throughput of database kernels on a data-center GPU.
+
+    Massively parallel streaming kinds run near HBM bandwidth; regex
+    and pointer-heavy work do comparatively poorly (divergence), and
+    there is no stateless constraint — a GPU has real memory.
+    """
+    return {
+        OpKind.FILTER: hbm_bandwidth,
+        OpKind.PROJECT: hbm_bandwidth,
+        OpKind.HASH: 0.8 * hbm_bandwidth,
+        OpKind.PARTITION: 0.6 * hbm_bandwidth,
+        OpKind.AGGREGATE: 0.6 * hbm_bandwidth,
+        OpKind.JOIN_BUILD: 0.3 * hbm_bandwidth,
+        OpKind.JOIN_PROBE: 0.5 * hbm_bandwidth,
+        OpKind.COUNT: hbm_bandwidth,
+        OpKind.SORT: 0.25 * hbm_bandwidth,
+        OpKind.REGEX: 0.05 * hbm_bandwidth,   # divergence-bound
+        OpKind.COMPRESS: 0.3 * hbm_bandwidth,
+        OpKind.DECOMPRESS: 0.5 * hbm_bandwidth,
+        OpKind.GENERIC: 0.2 * hbm_bandwidth,
+    }
+
+
+class GPU(Device):
+    """A GPU: huge streaming throughput, real kernel-launch latency.
+
+    GPUs are programmed through explicit kernels (CUDA), so they are
+    ``programmable`` in this model's sense too — stages pay a launch/
+    install cost, which is larger than for fixed-function NIC units.
+    """
+
+    def __init__(self, sim: Simulator, trace: Trace, name: str,
+                 hbm_bandwidth: float = 100.0 * GIB, slots: int = 4,
+                 launch_latency: float = 5e-6):
+        super().__init__(sim, trace, name,
+                         rates=gpu_rates(hbm_bandwidth),
+                         startup=launch_latency, slots=slots,
+                         programmable=True)
+        self.hbm_bandwidth = hbm_bandwidth

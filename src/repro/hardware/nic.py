@@ -1,0 +1,110 @@
+"""NICs, SmartNICs and DPUs (§4).
+
+A plain :class:`NIC` is a DMA engine: it moves bytes between the host
+and the wire without touching them.  A :class:`SmartNIC` adds an
+on-NIC processor that can operate on the stream as it flows — the
+bump-in-the-wire accelerator of §4.3 — supporting hashing,
+partitioning, filtering, (pre-)aggregation, COUNT, and the collective
+operations (scatter/gather) of §4.4.  A :class:`DPU` is a beefier
+SmartNIC (BlueField-class) that can in addition terminate storage
+protocols and run join stages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Resource, Simulator, Trace
+from .device import GIB, Device, OpKind
+
+__all__ = ["NIC", "SmartNIC", "DPU", "smartnic_rates", "dpu_rates"]
+
+
+def smartnic_rates(line_rate: float) -> dict[str, float]:
+    """Processing rates for a SmartNIC pipeline.
+
+    Streaming kinds run at wire speed (the point of a bump-in-the-wire
+    design); slightly-stateful kinds (pre-aggregation, partitioning)
+    run a bit below it; heavyweight state (sort, full join build) is
+    unsupported.
+    """
+    return {
+        OpKind.FILTER: line_rate,
+        OpKind.PROJECT: line_rate,
+        OpKind.HASH: line_rate,
+        OpKind.PARTITION: 0.8 * line_rate,
+        OpKind.AGGREGATE: 0.6 * line_rate,
+        OpKind.COUNT: 2.0 * line_rate,
+        OpKind.COMPRESS: 0.5 * line_rate,
+        OpKind.DECOMPRESS: line_rate,
+        OpKind.ENCRYPT: line_rate,       # inline crypto engines
+        OpKind.DECRYPT: line_rate,
+        OpKind.SERIALIZE: line_rate,
+        OpKind.DESERIALIZE: line_rate,
+    }
+
+
+def dpu_rates(line_rate: float) -> dict[str, float]:
+    """A DPU adds modest join/regex capability on its ARM cores."""
+    rates = smartnic_rates(line_rate)
+    rates.update({
+        OpKind.REGEX: 1.5 * GIB,
+        OpKind.JOIN_BUILD: 1.0 * GIB,
+        OpKind.JOIN_PROBE: 1.5 * GIB,
+        OpKind.GENERIC: 2.0 * GIB,
+    })
+    return rates
+
+
+class NIC:
+    """A conventional NIC: DMA engines only, no stream processing.
+
+    ``dma`` is the resource query stages hold while a transfer is in
+    flight; the scheduler rate-limits flows at this granularity
+    (§7.3).
+    """
+
+    def __init__(self, sim: Simulator, trace: Trace, name: str,
+                 gbits: float = 100.0, dma_engines: int = 4):
+        self.sim = sim
+        self.trace = trace
+        self.name = name
+        self.line_rate = gbits / 8.0 * 1e9
+        self.dma = Resource(sim, capacity=dma_engines, name=f"{name}.dma")
+        self.processor: Optional[Device] = None
+
+    @property
+    def is_smart(self) -> bool:
+        return self.processor is not None
+
+    def supports(self, kind: str) -> bool:
+        """Whether the on-NIC processor (if any) can host ``kind``."""
+        return self.processor is not None and self.processor.supports(kind)
+
+
+class SmartNIC(NIC):
+    """A NIC with a bump-in-the-wire stream processor (§4.3)."""
+
+    def __init__(self, sim: Simulator, trace: Trace, name: str,
+                 gbits: float = 100.0, dma_engines: int = 4,
+                 processor_slots: int = 2):
+        super().__init__(sim, trace, name, gbits=gbits,
+                         dma_engines=dma_engines)
+        self.processor = Device(sim, trace, f"{name}.proc",
+                                rates=smartnic_rates(self.line_rate),
+                                startup=1e-6, slots=processor_slots,
+                                programmable=True)
+
+
+class DPU(NIC):
+    """A data processing unit: SmartNIC + general-purpose cores (§4.2)."""
+
+    def __init__(self, sim: Simulator, trace: Trace, name: str,
+                 gbits: float = 200.0, dma_engines: int = 8,
+                 processor_slots: int = 4):
+        super().__init__(sim, trace, name, gbits=gbits,
+                         dma_engines=dma_engines)
+        self.processor = Device(sim, trace, f"{name}.proc",
+                                rates=dpu_rates(self.line_rate),
+                                startup=1e-6, slots=processor_slots,
+                                programmable=True)

@@ -1,0 +1,365 @@
+"""Calibrated fabric presets.
+
+:func:`build_fabric` assembles the architecture of Figure 6 — a
+storage node, a network switch, and one or more compute nodes, each
+with a NIC, DRAM, an optional near-memory accelerator, a cache level,
+and a CPU — with every knob of the paper exposed on
+:class:`FabricSpec`: smart vs dumb storage and NICs, PCIe generation
+vs CXL, network speed, core/controller counts.
+
+Setting ``storage_attachment='local'`` collapses the topology to the
+conventional von Neumann node of Figure 1 (local disk on PCIe), which
+is the baseline fabric for experiment F1.
+
+Site names are the vocabulary the placement layer uses:
+
+========================  =============================================
+site                      device
+========================  =============================================
+``storage.cu``            computational-storage unit (§3)
+``storage.nic``           processor on the storage-side SmartNIC (§4)
+``compute<i>.nic``        processor on a compute-side SmartNIC (§4)
+``compute<i>.nearmem``    near-memory accelerator (§5)
+``compute<i>.cpu``        host CPU (one slot per core)
+========================  =============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .cpu import CPUSocket, default_core_rates
+from .device import GIB, Device
+from .interconnect import (
+    cache_bus,
+    cxl_link,
+    ethernet_link,
+    memory_bus,
+    pcie_link,
+    rdma_link,
+)
+from .gpu import GPU
+from .memory import DRAM, DisaggregatedMemoryNode, NearMemoryAccelerator
+from .nic import DPU, NIC, SmartNIC
+from .storage import ComputationalStorage, StorageMedium
+from .topology import Fabric
+
+__all__ = ["FabricSpec", "ComputeNode", "HeterogeneousFabric",
+           "build_fabric", "conventional_spec", "dataflow_spec",
+           "rack_spec"]
+
+
+@dataclass
+class FabricSpec:
+    """Configuration knobs for :func:`build_fabric`."""
+
+    # Network.
+    network_gbits: float = 100.0
+    rdma: bool = True
+
+    # Host interconnect (§6): PCIe generation, or CXL on PCIe 5/6.
+    pcie_generation: int = 5
+    use_cxl: bool = False
+
+    # Storage layer (§3).
+    storage_attachment: str = "network"       # "network" or "local"
+    ssd_gib_per_s: float = 3.0
+    smart_storage: bool = True
+    storage_cu_scale: float = 1.0
+    storage_nic: str = "smart"                # "smart", "dumb", "dpu"
+
+    # Compute nodes (§4, §5).
+    compute_nodes: int = 1
+    compute_nic: str = "smart"                # "smart", "dumb", "dpu"
+    near_memory: bool = True
+    nearmem_gib_per_s: float = 40.0
+    dram_capacity: int = 64 << 30
+
+    # Optional GPU per compute node (§2.3, §4.2):
+    # "none", "host" (reachable only through DRAM), or
+    # "direct" (additionally NIC->GPU, i.e. GPUDirect).
+    gpu: str = "none"
+    gpu_hbm_gib_per_s: float = 100.0
+
+    # CPU (§5.1).
+    cores: int = 8
+    controllers: int = 2
+    core_ghz: float = 3.0
+    controller_gib: float = 20.0
+    single_stream_fraction: float = 0.8
+
+    # Optional disaggregated memory node (§5.3).
+    disagg_memory: bool = False
+    disagg_capacity: int = 256 << 30
+
+
+def conventional_spec(**overrides) -> FabricSpec:
+    """The Figure 1 node: local storage, no smarts anywhere."""
+    base = dict(
+        storage_attachment="local",
+        smart_storage=False,
+        storage_nic="dumb",
+        compute_nic="dumb",
+        near_memory=False,
+        use_cxl=False,
+    )
+    base.update(overrides)
+    return FabricSpec(**base)
+
+
+def dataflow_spec(**overrides) -> FabricSpec:
+    """The Figure 6 fabric: every data-path processing site enabled."""
+    base = dict(
+        storage_attachment="network",
+        smart_storage=True,
+        storage_nic="smart",
+        compute_nic="smart",
+        near_memory=True,
+        use_cxl=True,
+    )
+    base.update(overrides)
+    return FabricSpec(**base)
+
+
+def rack_spec(compute_nodes: int = 4, **overrides) -> FabricSpec:
+    """A fully disaggregated rack (§6.4).
+
+    "A much more flexible way is to think of computers in terms of
+    racks and populate the rack with more carefully apportioned
+    resources": several thin compute nodes, pooled disaggregated
+    memory, shared smart storage, CXL host interconnects, and a fast
+    fabric between them.
+    """
+    base = dict(
+        storage_attachment="network",
+        smart_storage=True,
+        storage_nic="smart",
+        compute_nic="smart",
+        near_memory=True,
+        use_cxl=True,
+        compute_nodes=compute_nodes,
+        disagg_memory=True,
+        network_gbits=400.0,
+        # Thin compute: the rack's memory lives in the pool.
+        dram_capacity=8 << 30,
+        disagg_capacity=512 << 30,
+    )
+    base.update(overrides)
+    return FabricSpec(**base)
+
+
+@dataclass
+class ComputeNode:
+    """Handles to one compute node's devices."""
+
+    name: str
+    nic: NIC
+    dram: DRAM
+    accelerator: Optional[NearMemoryAccelerator]
+    cpu: Device
+    socket: CPUSocket
+    gpu: Optional[GPU] = None
+    locations: dict[str, str] = field(default_factory=dict)
+
+
+def _make_nic(kind: str, sim, trace, name: str, gbits: float) -> NIC:
+    if kind == "smart":
+        return SmartNIC(sim, trace, name, gbits=gbits)
+    if kind == "dpu":
+        return DPU(sim, trace, name, gbits=max(gbits, 200.0))
+    if kind == "dumb":
+        return NIC(sim, trace, name, gbits=gbits)
+    raise ValueError(f"unknown NIC kind {kind!r}")
+
+
+class HeterogeneousFabric(Fabric):
+    """A fabric with named handles to the paper's processing sites."""
+
+    def __init__(self, spec: FabricSpec):
+        super().__init__()
+        self.spec = spec
+        self.storage: ComputationalStorage
+        self.storage_nic: Optional[NIC] = None
+        self.compute: list[ComputeNode] = []
+        self.disagg: Optional[DisaggregatedMemoryNode] = None
+        self._sites: dict[str, Device] = {}
+        self._site_locations: dict[str, str] = {}
+        self._build()
+
+    # -- construction ------------------------------------------------------
+
+    def _host_link(self, name: str):
+        if self.spec.use_cxl:
+            return cxl_link(self.sim, self.trace, name,
+                            generation=max(self.spec.pcie_generation, 5))
+        return pcie_link(self.sim, self.trace, name,
+                         generation=self.spec.pcie_generation)
+
+    def _net_link(self, name: str):
+        factory = rdma_link if self.spec.rdma else ethernet_link
+        return factory(self.sim, self.trace, name,
+                       gbits=self.spec.network_gbits)
+
+    def _register_site(self, site: str, device: Device, location: str):
+        self._sites[site] = device
+        self._site_locations[site] = location
+        if device.name not in self.devices:
+            self.add_device(device, at=location)
+
+    def _build(self) -> None:
+        spec = self.spec
+        sim, trace = self.sim, self.trace
+
+        # Storage node.
+        self.add_location("storage.node")
+        medium = StorageMedium.nvme_ssd(sim, trace, "storage.media",
+                                        gib_per_s=spec.ssd_gib_per_s)
+        self.storage = ComputationalStorage(
+            sim, trace, "storage", medium=medium,
+            cu_scale=spec.storage_cu_scale)
+        if spec.smart_storage:
+            self._register_site("storage.cu", self.storage.cu,
+                                "storage.node")
+
+        # Compute nodes.
+        for i in range(spec.compute_nodes):
+            node = self._build_compute_node(f"compute{i}")
+            self.compute.append(node)
+
+        # Wire storage to compute.
+        if spec.storage_attachment == "local":
+            if spec.compute_nodes != 1:
+                raise ValueError("local storage implies one compute node")
+            link = self._host_link("storage.pcie")
+            self.connect("storage.node", "compute0.dram", link)
+        elif spec.storage_attachment == "network":
+            self.storage_nic = _make_nic(
+                spec.storage_nic, sim, trace, "storage.nic",
+                spec.network_gbits)
+            if self.storage_nic.processor is not None:
+                self._register_site("storage.nic", self.storage_nic.processor,
+                                    "storage.node")
+            self.add_location("switch")
+            self.connect("storage.node", "switch",
+                         self._net_link("net.storage"))
+            for i in range(spec.compute_nodes):
+                self.connect("switch", f"compute{i}.node",
+                             self._net_link(f"net.compute{i}"))
+        else:
+            raise ValueError(
+                f"unknown storage_attachment {spec.storage_attachment!r}")
+
+        # Optional disaggregated memory node (§5.3).
+        if spec.disagg_memory:
+            self.disagg = DisaggregatedMemoryNode(
+                sim, trace, "memnode", capacity=spec.disagg_capacity,
+                nic_gbits=spec.network_gbits,
+                smart_nic=spec.compute_nic == "smart",
+                accelerator=spec.near_memory)
+            self.add_location("memnode.node")
+            self.connect("memnode.node", "switch",
+                         self._net_link("net.memnode"))
+            if self.disagg.accelerator is not None:
+                self._register_site("memnode.accel", self.disagg.accelerator,
+                                    "memnode.node")
+
+    def _build_compute_node(self, name: str) -> ComputeNode:
+        spec = self.spec
+        sim, trace = self.sim, self.trace
+        loc_node = f"{name}.node"
+        loc_dram = f"{name}.dram"
+        loc_llc = f"{name}.llc"
+        loc_cpu = f"{name}.cpu"
+        for loc in (loc_node, loc_dram, loc_llc, loc_cpu):
+            self.add_location(loc)
+
+        nic = _make_nic(spec.compute_nic, sim, trace, f"{name}.nic",
+                        spec.network_gbits)
+        if nic.processor is not None:
+            self._register_site(f"{name}.nic", nic.processor, loc_node)
+
+        dram = DRAM(sim, trace, f"{name}.dram",
+                    capacity=spec.dram_capacity)
+        accel = None
+        if spec.near_memory:
+            accel = NearMemoryAccelerator(
+                sim, trace, f"{name}.nearmem",
+                memory_bandwidth=spec.nearmem_gib_per_s * GIB)
+            self._register_site(f"{name}.nearmem", accel, loc_dram)
+
+        cpu = Device(sim, trace, f"{name}.cpu",
+                     rates=default_core_rates(spec.core_ghz),
+                     startup=0.0, slots=spec.cores)
+        self._register_site(f"{name}.cpu", cpu, loc_cpu)
+
+        socket = CPUSocket(
+            sim, trace, f"{name}.socket", cores=spec.cores,
+            controllers=spec.controllers, ghz=spec.core_ghz,
+            controller_bandwidth=spec.controller_gib * GIB,
+            single_stream_fraction=spec.single_stream_fraction)
+
+        # Host links: NIC -> DRAM (PCIe/CXL), DRAM -> LLC (memory bus,
+        # one port per controller), LLC -> cores (on-chip).
+        self.connect(loc_node, loc_dram, self._host_link(f"{name}.host"))
+        self.connect(loc_dram, loc_llc, memory_bus(
+            sim, trace, f"{name}.membus", gib_per_s=spec.controller_gib,
+            ports=spec.controllers))
+        self.connect(loc_llc, loc_cpu,
+                     cache_bus(sim, trace, f"{name}.cachebus"))
+
+        gpu = None
+        if spec.gpu != "none":
+            if spec.gpu not in ("host", "direct"):
+                raise ValueError(f"unknown gpu mode {spec.gpu!r}")
+            loc_gpu = f"{name}.gpu"
+            self.add_location(loc_gpu)
+            gpu = GPU(sim, trace, f"{name}.gpu",
+                      hbm_bandwidth=spec.gpu_hbm_gib_per_s * GIB)
+            self._register_site(f"{name}.gpu", gpu, loc_gpu)
+            # Conventional attachment: behind host DRAM.
+            self.connect(loc_dram, loc_gpu,
+                         self._host_link(f"{name}.gpu_host"))
+            if spec.gpu == "direct":
+                # GPUDirect (§4.2): the NIC reaches the GPU without
+                # crossing host memory.
+                self.connect(loc_node, loc_gpu,
+                             self._host_link(f"{name}.gpudirect"))
+
+        return ComputeNode(name=name, nic=nic, dram=dram, accelerator=accel,
+                           cpu=cpu, socket=socket, gpu=gpu,
+                           locations={"node": loc_node, "dram": loc_dram,
+                                      "llc": loc_llc, "cpu": loc_cpu})
+
+    # -- site API ------------------------------------------------------------
+
+    @property
+    def sites(self) -> dict[str, Device]:
+        """Mapping of site name to the device that hosts work there."""
+        return dict(self._sites)
+
+    def site_device(self, site: str) -> Device:
+        if site not in self._sites:
+            raise KeyError(
+                f"site {site!r} not present on this fabric "
+                f"(have: {sorted(self._sites)})")
+        return self._sites[site]
+
+    def site_location(self, site: str) -> str:
+        return self._site_locations[site]
+
+    def has_site(self, site: str) -> bool:
+        return site in self._sites
+
+    @property
+    def storage_location(self) -> str:
+        """Where table data originates."""
+        return "storage.node"
+
+    def cpu_site(self, node: int = 0) -> str:
+        return f"compute{node}.cpu"
+
+
+def build_fabric(spec: Optional[FabricSpec] = None) -> HeterogeneousFabric:
+    """Build a fabric from ``spec`` (default: the full Figure 6 setup)."""
+    return HeterogeneousFabric(spec if spec is not None else dataflow_spec())

@@ -1,0 +1,168 @@
+"""The fabric: devices and links arranged in a topology graph.
+
+A :class:`Fabric` owns the simulator, the trace, a set of named
+devices, and an undirected graph whose nodes are *locations* (strings)
+and whose edges carry :class:`~repro.hardware.interconnect.Link`
+objects.  Devices sit at locations; data moves between locations along
+shortest paths, store-and-forward per chunk.
+
+The fabric is the substrate every experiment shares: the CPU-centric
+baseline and the data-flow engine run on the *same* fabric, so their
+byte counters are directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, Optional
+
+import networkx as nx
+
+from ..sim import Simulator, Trace
+from .device import Device
+from .interconnect import Link
+
+__all__ = ["Fabric", "NoRouteError"]
+
+
+class NoRouteError(Exception):
+    """No path exists between two fabric locations."""
+
+
+class Fabric:
+    """A named collection of devices and links with routing."""
+
+    def __init__(self, sim: Optional[Simulator] = None,
+                 trace: Optional[Trace] = None):
+        self.sim = sim if sim is not None else Simulator()
+        self.trace = trace if trace is not None else Trace()
+        self.graph = nx.Graph()
+        self.devices: dict[str, Device] = {}
+        self._locations: dict[str, str] = {}  # device name -> node
+        self._route_cache: dict[tuple[str, str], list[Link]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_location(self, node: str) -> str:
+        """Declare a passive location (e.g. ``dram0``, ``ssd0``)."""
+        self.graph.add_node(node)
+        self._route_cache.clear()
+        return node
+
+    def add_device(self, device: Device, at: str) -> Device:
+        """Register ``device`` at location ``at`` (created if needed)."""
+        if device.name in self.devices:
+            raise ValueError(f"duplicate device name {device.name!r}")
+        self.add_location(at)
+        self.devices[device.name] = device
+        self._locations[device.name] = at
+        return device
+
+    def connect(self, a: str, b: str, link: Link) -> Link:
+        """Join locations ``a`` and ``b`` with ``link``."""
+        self.graph.add_node(a)
+        self.graph.add_node(b)
+        self.graph.add_edge(a, b, link=link)
+        self._route_cache.clear()
+        return link
+
+    # -- lookup ------------------------------------------------------------
+
+    def device(self, name: str) -> Device:
+        """The device registered under ``name``."""
+        return self.devices[name]
+
+    def location_of(self, device_name: str) -> str:
+        """The location a device sits at."""
+        return self._locations[device_name]
+
+    def link_between(self, a: str, b: str) -> Link:
+        """The direct link joining two adjacent locations."""
+        return self.graph.edges[a, b]["link"]
+
+    # -- routing -----------------------------------------------------------
+
+    def route(self, src: str, dst: str) -> list[Link]:
+        """Links along the shortest path from ``src`` to ``dst``.
+
+        Locations may be given either as node names or device names.
+        An empty list means src and dst share a location.
+        """
+        src = self._locations.get(src, src)
+        dst = self._locations.get(dst, dst)
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
+        if src == dst:
+            self._route_cache[key] = []
+            return []
+        try:
+            nodes = nx.shortest_path(self.graph, src, dst)
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise NoRouteError(f"no route {src!r} -> {dst!r}") from exc
+        links = [self.graph.edges[a, b]["link"]
+                 for a, b in zip(nodes, nodes[1:])]
+        self._route_cache[key] = links
+        return links
+
+    def path_latency(self, src: str, dst: str) -> float:
+        """Sum of link latencies along the route."""
+        return sum(link.latency for link in self.route(src, dst))
+
+    def path_bandwidth(self, src: str, dst: str) -> float:
+        """Bottleneck bandwidth along the route (inf if colocated)."""
+        links = self.route(src, dst)
+        if not links:
+            return float("inf")
+        return min(link.bandwidth for link in links)
+
+    def transfer_time(self, src: str, dst: str, nbytes: float) -> float:
+        """Predicted uncontended store-and-forward transfer time."""
+        return sum(link.transfer_time(nbytes) for link in self.route(src, dst))
+
+    # -- movement ------------------------------------------------------------
+
+    def transfer(self, src: str, dst: str, nbytes: float,
+                 flow: str = "") -> Generator:
+        """Move ``nbytes`` from ``src`` to ``dst`` (simulation process).
+
+        The transfer crosses each link on the route in sequence
+        (store-and-forward at the granularity the caller chunks at).
+        """
+        for link in self.route(src, dst):
+            yield from link.transfer(nbytes, flow=flow)
+
+    # -- reporting -----------------------------------------------------------
+
+    def movement_report(self) -> dict[str, float]:
+        """Bytes moved per segment class (network, pcie, membus, ...)."""
+        prefix = "movement."
+        return {key[len(prefix):]: value
+                for key, value in sorted(self.trace.counters.items())
+                if key.startswith(prefix)}
+
+    def total_bytes_moved(self) -> float:
+        """Bytes moved across all links (each hop counted once)."""
+        return self.trace.total("movement.")
+
+    def utilization_report(self, elapsed: Optional[float] = None
+                           ) -> dict[str, float]:
+        """Busy fraction of every device and link (0..1).
+
+        The quantity §7.3's scheduler reasons about: which resources a
+        workload actually saturated.
+        """
+        report: dict[str, float] = {}
+        for name, device in sorted(self.devices.items()):
+            report[f"device:{name}"] = device.utilization(elapsed)
+        seen: set[str] = set()
+        for _a, _b, data in self.graph.edges(data=True):
+            link = data["link"]
+            if link.name not in seen:
+                seen.add(link.name)
+                report[f"link:{link.name}"] = link.utilization(elapsed)
+        return report
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run the underlying simulator."""
+        self.sim.run(until=until)

@@ -1,0 +1,13 @@
+"""Movement-aware query optimization: cost model, enumeration, ranking."""
+
+from .cost import CostModel, PlanCost
+from .enumeration import enumerate_placements
+from .optimizer import Optimizer, RankedPlacement
+
+__all__ = [
+    "CostModel",
+    "Optimizer",
+    "PlanCost",
+    "RankedPlacement",
+    "enumerate_placements",
+]

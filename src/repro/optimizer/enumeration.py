@@ -1,0 +1,151 @@
+"""Placement enumeration: the expanded plan space of §1 and §3.3.
+
+"Query optimizers will have to consider many more plan options to
+include the alternatives for offloading of operations along the data
+path."  This module enumerates those alternatives: for every
+streamable operator, every data-path site (at or after its input's
+site) whose device supports the operator's kind; for every aggregate,
+the possible staging chains; plus the CPU-only fallback the scheduler
+needs as a variant (§7.3).
+
+Monotonicity prunes the space: data flows storage → CPU and never
+backward, so site indices must be nondecreasing from a node's child
+to the node.  The product is capped (``max_placements``) to keep
+enumeration predictable on deep plans.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Optional
+
+from ..engine.logical import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    Map,
+    PlanNode,
+    Project,
+    Scan,
+    Sort,
+)
+from ..engine.placement import Placement, _node_kind, data_path_sites
+from ..hardware.device import OpKind
+from ..hardware.presets import HeterogeneousFabric
+
+__all__ = ["enumerate_placements"]
+
+
+def _site_options(fabric: HeterogeneousFabric, path: list[str],
+                  kind: str, min_index: int) -> list[int]:
+    """Path indices at/after ``min_index`` whose device supports kind."""
+    return [i for i in range(min_index, len(path))
+            if fabric.site_device(path[i]).supports(kind)]
+
+
+def _aggregate_chains(fabric: HeterogeneousFabric, path: list[str],
+                      node: Aggregate, min_index: int,
+                      cpu: str, nic_site: str) -> list[list[str]]:
+    """Candidate staging chains for one aggregate node."""
+    supporting = [path[i] for i in
+                  _site_options(fabric, path, OpKind.AGGREGATE, min_index)]
+    finals = [cpu]
+    if not node.group_by and fabric.has_site(nic_site):
+        finals.append(nic_site)   # §4.4: scalar aggregates end on the NIC
+    chains: list[list[str]] = []
+    for final in finals:
+        # CPU-only chain.
+        chains.append([cpu, final] if final != cpu else [cpu, cpu])
+        if supporting:
+            first = supporting[0]
+            # Partial at the earliest site, straight to final.
+            chains.append([first, final])
+            # Fully staged: every supporting site merges (§4.4).
+            if len(supporting) > 1:
+                chains.append(supporting + [final])
+    # Deduplicate, preserving order.
+    seen, unique = set(), []
+    for chain in chains:
+        key = tuple(chain)
+        if key not in seen:
+            seen.add(key)
+            unique.append(chain)
+    return unique
+
+
+def enumerate_placements(plan: PlanNode, fabric: HeterogeneousFabric,
+                         node: int = 0,
+                         max_placements: int = 256) -> Iterator[Placement]:
+    """Yield candidate placements for ``plan`` on ``fabric``."""
+    path = data_path_sites(fabric, node)
+    cpu = fabric.cpu_site(node)
+    nic_site = f"compute{node}.nic"
+    cpu_index = len(path) - 1 if path else 0
+
+    nodes = list(plan.walk())
+    # Per-node option lists.  Each option is (chain, reached_index).
+    options: dict[int, list[tuple[list[str], int]]] = {}
+    for n in nodes:
+        if isinstance(n, Scan):
+            options[n.node_id] = [([path[0] if path else cpu], 0)]
+        elif isinstance(n, (Filter, Project, Map)):
+            kind = _node_kind(n)
+            opts = [([path[i]], i) for i in
+                    _site_options(fabric, path, kind, 0)]
+            if not opts:
+                opts = [([cpu], cpu_index)]
+            options[n.node_id] = opts
+        elif isinstance(n, Aggregate):
+            chains = _aggregate_chains(fabric, path, n, 0, cpu, nic_site)
+            options[n.node_id] = [(c, cpu_index) for c in chains]
+        elif isinstance(n, (Join, Sort, Limit)):
+            options[n.node_id] = [([cpu], cpu_index)]
+        else:
+            options[n.node_id] = [([cpu], cpu_index)]
+
+    # Multi-node fabrics add the Figure 4 alternative: the same
+    # logical join executed n-ways via NIC scattering.
+    has_join = any(isinstance(n, Join) for n in nodes)
+    n_nodes = len(getattr(fabric, "compute", []))
+    partition_options = [1]
+    if has_join and n_nodes > 1:
+        partition_options.append(n_nodes)
+
+    produced = 0
+    ids = [n.node_id for n in nodes]
+    for combo in itertools.product(*(options[i] for i in ids)):
+        assignment = dict(zip(ids, combo))
+        if not _monotone(plan, assignment, path):
+            continue
+        for partitions in partition_options:
+            placement = Placement(
+                sites={i: list(chain)
+                       for i, (chain, _idx) in assignment.items()},
+                result_site=cpu, partitions=partitions,
+                name="enumerated")
+            yield placement
+            produced += 1
+            if produced >= max_placements:
+                return
+
+
+def _index_of(chain: list[str], path: list[str]) -> int:
+    """Path index reached by the end of a chain (CPU if off-path)."""
+    last = chain[-1]
+    return path.index(last) if last in path else len(path) - 1
+
+
+def _monotone(plan: PlanNode,
+              assignment: dict[int, tuple[list[str], int]],
+              path: list[str]) -> bool:
+    """Data never flows backward along the path."""
+    for node in plan.walk():
+        chain, _reach = assignment[node.node_id]
+        my_index = (path.index(chain[0]) if chain[0] in path
+                    else len(path) - 1)
+        for child in node.children:
+            child_chain, _r = assignment[child.node_id]
+            if _index_of(child_chain, path) > my_index:
+                return False
+    return True

@@ -1,0 +1,115 @@
+"""The catalog: named tables plus the statistics the optimizer uses.
+
+Statistics are computed exactly at registration time (the data is
+synthetic and in memory, so there is no reason to sample).  The
+optimizer combines them with expression selectivities to predict the
+bytes flowing across each plan edge (§7.1's movement-first costing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .schema import DataType, Schema
+from .table import Table
+
+__all__ = ["ColumnStats", "TableStats", "Catalog"]
+
+
+@dataclass
+class ColumnStats:
+    """Exact per-column statistics."""
+
+    name: str
+    dtype: str
+    min: Optional[float] = None
+    max: Optional[float] = None
+    distinct: int = 0
+    value_nbytes: int = 8
+
+    def as_dict(self) -> dict:
+        """The shape expression selectivity estimation expects."""
+        return {"min": self.min, "max": self.max, "distinct": self.distinct}
+
+
+@dataclass
+class TableStats:
+    """Exact table-level statistics."""
+
+    rows: int
+    nbytes: int
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    @property
+    def row_nbytes(self) -> float:
+        return self.nbytes / self.rows if self.rows else 0.0
+
+    def column_dict(self) -> dict[str, dict]:
+        """Per-column stats dicts keyed by name, for expressions."""
+        return {name: c.as_dict() for name, c in self.columns.items()}
+
+
+def compute_stats(table: Table) -> TableStats:
+    """Exact statistics for a table."""
+    columns = {}
+    for f in table.schema.fields:
+        values = table.column(f.name)
+        if f.dtype in (DataType.INT64, DataType.FLOAT64):
+            lo = float(values.min()) if len(values) else None
+            hi = float(values.max()) if len(values) else None
+        else:
+            lo = hi = None
+        distinct = len(np.unique(values)) if len(values) else 0
+        columns[f.name] = ColumnStats(
+            name=f.name, dtype=f.dtype, min=lo, max=hi,
+            distinct=distinct, value_nbytes=f.value_nbytes)
+    return TableStats(rows=table.num_rows, nbytes=table.nbytes,
+                      columns=columns)
+
+
+class Catalog:
+    """Named tables with statistics and (lazily built) zone maps."""
+
+    def __init__(self):
+        self._tables: dict[str, Table] = {}
+        self._stats: dict[str, TableStats] = {}
+        self._zonemaps: dict[str, "ZoneMap"] = {}
+
+    def register(self, name: str, table: Table) -> Table:
+        """Add (or replace) a table under ``name``; computes stats."""
+        table.name = name
+        self._tables[name] = table
+        self._stats[name] = compute_stats(table)
+        self._zonemaps.pop(name, None)
+        return table
+
+    def zonemap(self, name: str) -> "ZoneMap":
+        """Per-chunk min/max bounds for pruning scans (§2.1)."""
+        if name not in self._zonemaps:
+            from .zonemaps import ZoneMap
+            self._zonemaps[name] = ZoneMap.build(self.table(name))
+        return self._zonemaps[name]
+
+    def table(self, name: str) -> Table:
+        if name not in self._tables:
+            raise KeyError(
+                f"unknown table {name!r} (have: {sorted(self._tables)})")
+        return self._tables[name]
+
+    def stats(self, name: str) -> TableStats:
+        if name not in self._stats:
+            raise KeyError(f"no statistics for table {name!r}")
+        return self._stats[name]
+
+    def schema(self, name: str) -> Schema:
+        return self.table(name).schema
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self._tables)

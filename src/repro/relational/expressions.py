@@ -1,0 +1,388 @@
+"""Vectorized expression trees for predicates and projections.
+
+Expressions evaluate against a :class:`~repro.relational.table.Chunk`
+and return a numpy array.  They also self-describe for the optimizer:
+``required_columns`` feeds projection pushdown, ``op_kind`` tells the
+placement layer whether a device needs FILTER or REGEX capability
+(LIKE predicates are regex work — the AQUA example of §3.3), and
+``estimate_selectivity`` supports the movement cost model.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+import numpy as np
+
+from ..hardware.device import OpKind
+from .table import Chunk
+
+__all__ = [
+    "Expression",
+    "Col",
+    "Const",
+    "Compare",
+    "Arith",
+    "And",
+    "Or",
+    "Not",
+    "Like",
+    "Between",
+    "InSet",
+    "col",
+    "lit",
+]
+
+
+class Expression:
+    """Base class for all expression nodes."""
+
+    def evaluate(self, chunk: Chunk) -> np.ndarray:
+        raise NotImplementedError
+
+    def required_columns(self) -> set[str]:
+        raise NotImplementedError
+
+    def op_kind(self) -> str:
+        """The device capability this expression needs (FILTER/REGEX)."""
+        return OpKind.FILTER
+
+    def estimate_selectivity(self, stats: Optional[dict] = None) -> float:
+        """Fraction of rows expected to pass (predicates only)."""
+        return 1.0
+
+    # -- operator sugar ---------------------------------------------------
+
+    def __eq__(self, other):  # type: ignore[override]
+        return Compare("==", self, _wrap(other))
+
+    def __ne__(self, other):  # type: ignore[override]
+        return Compare("!=", self, _wrap(other))
+
+    def __lt__(self, other):
+        return Compare("<", self, _wrap(other))
+
+    def __le__(self, other):
+        return Compare("<=", self, _wrap(other))
+
+    def __gt__(self, other):
+        return Compare(">", self, _wrap(other))
+
+    def __ge__(self, other):
+        return Compare(">=", self, _wrap(other))
+
+    def __add__(self, other):
+        return Arith("+", self, _wrap(other))
+
+    def __sub__(self, other):
+        return Arith("-", self, _wrap(other))
+
+    def __mul__(self, other):
+        return Arith("*", self, _wrap(other))
+
+    def __truediv__(self, other):
+        return Arith("/", self, _wrap(other))
+
+    def __and__(self, other):
+        return And(self, _wrap(other))
+
+    def __or__(self, other):
+        return Or(self, _wrap(other))
+
+    def __invert__(self):
+        return Not(self)
+
+    def __hash__(self):
+        return id(self)
+
+    def like(self, pattern: str) -> "Like":
+        """SQL LIKE with ``%`` and ``_`` wildcards."""
+        return Like(self, pattern)
+
+    def between(self, low, high) -> "Between":
+        """Inclusive range predicate."""
+        return Between(self, low, high)
+
+    def isin(self, values) -> "InSet":
+        """Membership predicate."""
+        return InSet(self, values)
+
+
+def _wrap(value) -> "Expression":
+    return value if isinstance(value, Expression) else Const(value)
+
+
+class Col(Expression):
+    """A column reference."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def evaluate(self, chunk: Chunk) -> np.ndarray:
+        return chunk.column(self.name)
+
+    def required_columns(self) -> set[str]:
+        return {self.name}
+
+    def __repr__(self):
+        return f"col({self.name!r})"
+
+
+class Const(Expression):
+    """A literal value, broadcast across the chunk."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def evaluate(self, chunk: Chunk) -> np.ndarray:
+        return np.full(chunk.num_rows, self.value)
+
+    def required_columns(self) -> set[str]:
+        return set()
+
+    def __repr__(self):
+        return f"lit({self.value!r})"
+
+
+class Compare(Expression):
+    """A comparison producing a boolean mask."""
+
+    _OPS = {
+        "==": np.equal, "!=": np.not_equal, "<": np.less,
+        "<=": np.less_equal, ">": np.greater, ">=": np.greater_equal,
+    }
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        if op not in self._OPS:
+            raise ValueError(f"unknown comparison {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, chunk: Chunk) -> np.ndarray:
+        return self._OPS[self.op](self.left.evaluate(chunk),
+                                  self.right.evaluate(chunk))
+
+    def required_columns(self) -> set[str]:
+        return self.left.required_columns() | self.right.required_columns()
+
+    def estimate_selectivity(self, stats: Optional[dict] = None) -> float:
+        # Range predicates over known min/max interpolate; equality
+        # uses 1/distinct; otherwise textbook defaults.
+        if isinstance(self.left, Col) and isinstance(self.right, Const) \
+                and stats and self.left.name in stats:
+            cstats = stats[self.left.name]
+            lo, hi = cstats.get("min"), cstats.get("max")
+            value = self.right.value
+            if self.op == "==":
+                distinct = cstats.get("distinct", 0)
+                return 1.0 / distinct if distinct else 0.1
+            if lo is not None and hi is not None and hi > lo \
+                    and isinstance(value, (int, float)):
+                frac = (value - lo) / (hi - lo)
+                frac = min(max(frac, 0.0), 1.0)
+                if self.op in ("<", "<="):
+                    return frac
+                if self.op in (">", ">="):
+                    return 1.0 - frac
+        return {"==": 0.1, "!=": 0.9}.get(self.op, 0.33)
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class Arith(Expression):
+    """Element-wise arithmetic."""
+
+    _OPS = {"+": np.add, "-": np.subtract, "*": np.multiply,
+            "/": np.divide}
+
+    def __init__(self, op: str, left: Expression, right: Expression):
+        if op not in self._OPS:
+            raise ValueError(f"unknown arithmetic op {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, chunk: Chunk) -> np.ndarray:
+        return self._OPS[self.op](self.left.evaluate(chunk),
+                                  self.right.evaluate(chunk))
+
+    def required_columns(self) -> set[str]:
+        return self.left.required_columns() | self.right.required_columns()
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class And(Expression):
+    def __init__(self, left: Expression, right: Expression):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, chunk: Chunk) -> np.ndarray:
+        return np.logical_and(self.left.evaluate(chunk),
+                              self.right.evaluate(chunk))
+
+    def required_columns(self) -> set[str]:
+        return self.left.required_columns() | self.right.required_columns()
+
+    def op_kind(self) -> str:
+        kinds = {self.left.op_kind(), self.right.op_kind()}
+        return OpKind.REGEX if OpKind.REGEX in kinds else OpKind.FILTER
+
+    def estimate_selectivity(self, stats: Optional[dict] = None) -> float:
+        return (self.left.estimate_selectivity(stats)
+                * self.right.estimate_selectivity(stats))
+
+    def __repr__(self):
+        return f"({self.left!r} & {self.right!r})"
+
+
+class Or(Expression):
+    def __init__(self, left: Expression, right: Expression):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, chunk: Chunk) -> np.ndarray:
+        return np.logical_or(self.left.evaluate(chunk),
+                             self.right.evaluate(chunk))
+
+    def required_columns(self) -> set[str]:
+        return self.left.required_columns() | self.right.required_columns()
+
+    def op_kind(self) -> str:
+        kinds = {self.left.op_kind(), self.right.op_kind()}
+        return OpKind.REGEX if OpKind.REGEX in kinds else OpKind.FILTER
+
+    def estimate_selectivity(self, stats: Optional[dict] = None) -> float:
+        a = self.left.estimate_selectivity(stats)
+        b = self.right.estimate_selectivity(stats)
+        return min(1.0, a + b - a * b)
+
+    def __repr__(self):
+        return f"({self.left!r} | {self.right!r})"
+
+
+class Not(Expression):
+    def __init__(self, operand: Expression):
+        self.operand = operand
+
+    def evaluate(self, chunk: Chunk) -> np.ndarray:
+        return np.logical_not(self.operand.evaluate(chunk))
+
+    def required_columns(self) -> set[str]:
+        return self.operand.required_columns()
+
+    def op_kind(self) -> str:
+        return self.operand.op_kind()
+
+    def estimate_selectivity(self, stats: Optional[dict] = None) -> float:
+        return 1.0 - self.operand.estimate_selectivity(stats)
+
+    def __repr__(self):
+        return f"~{self.operand!r}"
+
+
+class Like(Expression):
+    """SQL LIKE pattern matching — REGEX work for the device model."""
+
+    def __init__(self, operand: Expression, pattern: str):
+        self.operand = operand
+        self.pattern = pattern
+        parts = []
+        for char in pattern:
+            if char == "%":
+                parts.append(".*")
+            elif char == "_":
+                parts.append(".")
+            else:
+                parts.append(re.escape(char))
+        self._compiled = re.compile("^" + "".join(parts) + "$")
+
+    def evaluate(self, chunk: Chunk) -> np.ndarray:
+        values = self.operand.evaluate(chunk)
+        match = self._compiled.match
+        return np.fromiter((match(str(v)) is not None for v in values),
+                           dtype=bool, count=len(values))
+
+    def required_columns(self) -> set[str]:
+        return self.operand.required_columns()
+
+    def op_kind(self) -> str:
+        return OpKind.REGEX
+
+    def estimate_selectivity(self, stats: Optional[dict] = None) -> float:
+        return 0.05 if not self.pattern.startswith("%") else 0.1
+
+    def __repr__(self):
+        return f"{self.operand!r}.like({self.pattern!r})"
+
+
+class Between(Expression):
+    """Inclusive range predicate, decomposed for estimation."""
+
+    def __init__(self, operand: Expression, low, high):
+        self.operand = operand
+        self.low = _wrap(low)
+        self.high = _wrap(high)
+
+    def evaluate(self, chunk: Chunk) -> np.ndarray:
+        values = self.operand.evaluate(chunk)
+        return np.logical_and(values >= self.low.evaluate(chunk),
+                              values <= self.high.evaluate(chunk))
+
+    def required_columns(self) -> set[str]:
+        return (self.operand.required_columns()
+                | self.low.required_columns()
+                | self.high.required_columns())
+
+    def estimate_selectivity(self, stats: Optional[dict] = None) -> float:
+        if isinstance(self.operand, Col) and isinstance(self.low, Const) \
+                and isinstance(self.high, Const) and stats \
+                and self.operand.name in stats:
+            cstats = stats[self.operand.name]
+            lo, hi = cstats.get("min"), cstats.get("max")
+            if lo is not None and hi is not None and hi > lo:
+                frac = (self.high.value - self.low.value) / (hi - lo)
+                return min(max(frac, 0.0), 1.0)
+        return 0.25
+
+    def __repr__(self):
+        return f"{self.operand!r}.between({self.low!r}, {self.high!r})"
+
+
+class InSet(Expression):
+    """Membership in a fixed value set."""
+
+    def __init__(self, operand: Expression, values):
+        self.operand = operand
+        self.values = list(values)
+
+    def evaluate(self, chunk: Chunk) -> np.ndarray:
+        return np.isin(self.operand.evaluate(chunk), self.values)
+
+    def required_columns(self) -> set[str]:
+        return self.operand.required_columns()
+
+    def estimate_selectivity(self, stats: Optional[dict] = None) -> float:
+        if isinstance(self.operand, Col) and stats \
+                and self.operand.name in stats:
+            distinct = stats[self.operand.name].get("distinct", 0)
+            if distinct:
+                return min(1.0, len(self.values) / distinct)
+        return min(1.0, 0.1 * len(self.values))
+
+    def __repr__(self):
+        return f"{self.operand!r}.isin({self.values!r})"
+
+
+def col(name: str) -> Col:
+    """Shorthand column reference: ``col("price") > 10``."""
+    return Col(name)
+
+
+def lit(value) -> Const:
+    """Shorthand literal."""
+    return Const(value)

@@ -1,0 +1,203 @@
+"""Columnar chunks and tables.
+
+A :class:`Chunk` is the unit of data flow: a fixed schema plus one
+numpy array per column.  Every operator in both engines consumes and
+produces chunks, and ``chunk.nbytes`` is the quantity charged to
+devices and links — the data the simulation moves is the data the
+query actually processes.
+
+A :class:`Table` is a list of chunks with one schema; it is what the
+catalog stores and what scans iterate over.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from .schema import Field, Schema
+
+__all__ = ["Chunk", "Table"]
+
+
+class Chunk:
+    """A batch of rows in columnar layout."""
+
+    def __init__(self, schema: Schema, columns: dict[str, np.ndarray]):
+        if set(columns) != set(schema.names):
+            raise ValueError(
+                f"columns {sorted(columns)} do not match schema "
+                f"{schema.names}")
+        lengths = {len(col) for col in columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
+        self.schema = schema
+        self.columns = {
+            name: np.asarray(columns[name],
+                             dtype=schema.field(name).numpy_dtype)
+            for name in schema.names
+        }
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Chunk":
+        return cls(schema, {
+            f.name: np.empty(0, dtype=f.numpy_dtype) for f in schema.fields})
+
+    @classmethod
+    def concat(cls, chunks: Sequence["Chunk"]) -> "Chunk":
+        """Concatenate chunks sharing a schema into one."""
+        if not chunks:
+            raise ValueError("concat of zero chunks")
+        schema = chunks[0].schema
+        return cls(schema, {
+            name: np.concatenate([c.columns[name] for c in chunks])
+            for name in schema.names})
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        if not self.schema.names:
+            return 0
+        return len(self.columns[self.schema.names[0]])
+
+    @property
+    def nbytes(self) -> int:
+        """Exact bytes of column data (drives simulated movement)."""
+        return sum(col.nbytes for col in self.columns.values())
+
+    def column(self, name: str) -> np.ndarray:
+        return self.columns[name]
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:
+        return f"<Chunk {self.num_rows} rows x {len(self.schema)} cols>"
+
+    # -- transformations -----------------------------------------------------
+
+    def project(self, names: Iterable[str]) -> "Chunk":
+        """Keep only ``names``, in order."""
+        names = list(names)
+        schema = self.schema.project(names)
+        return Chunk(schema, {n: self.columns[n] for n in names})
+
+    def filter(self, mask: np.ndarray) -> "Chunk":
+        """Rows where ``mask`` is true."""
+        if len(mask) != self.num_rows:
+            raise ValueError("mask length mismatch")
+        return Chunk(self.schema,
+                     {n: col[mask] for n, col in self.columns.items()})
+
+    def take(self, indices: np.ndarray) -> "Chunk":
+        """Rows at ``indices`` (may repeat / reorder)."""
+        return Chunk(self.schema,
+                     {n: col[indices] for n, col in self.columns.items()})
+
+    def slice(self, start: int, stop: int) -> "Chunk":
+        return Chunk(self.schema,
+                     {n: col[start:stop] for n, col in self.columns.items()})
+
+    def with_column(self, field: Field, values: np.ndarray) -> "Chunk":
+        """A new chunk with one extra column appended."""
+        schema = Schema(self.schema.fields + [field])
+        columns = dict(self.columns)
+        columns[field.name] = values
+        return Chunk(schema, columns)
+
+    def rename(self, mapping: dict[str, str]) -> "Chunk":
+        """A new chunk with columns renamed per ``mapping``."""
+        fields = [Field(mapping.get(f.name, f.name), f.dtype, f.width)
+                  for f in self.schema.fields]
+        schema = Schema(fields)
+        columns = {mapping.get(n, n): col
+                   for n, col in self.columns.items()}
+        return Chunk(schema, columns)
+
+    # -- test/oracle helpers ---------------------------------------------------
+
+    def to_rows(self) -> list[tuple]:
+        """Rows as python tuples (for correctness oracles)."""
+        arrays = [self.columns[n] for n in self.schema.names]
+        return [tuple(a[i].item() if hasattr(a[i], "item") else a[i]
+                      for a in arrays)
+                for i in range(self.num_rows)]
+
+    def sorted_rows(self) -> list[tuple]:
+        """Rows sorted, for order-insensitive comparison."""
+        return sorted(self.to_rows())
+
+
+class Table:
+    """A named relation: a schema plus a list of chunks."""
+
+    def __init__(self, schema: Schema, chunks: Optional[list[Chunk]] = None,
+                 name: str = ""):
+        self.schema = schema
+        self.name = name
+        self._chunks: list[Chunk] = []
+        for chunk in chunks or []:
+            self.append(chunk)
+
+    @classmethod
+    def from_arrays(cls, schema: Schema, columns: dict[str, np.ndarray],
+                    name: str = "", chunk_rows: int = 65536) -> "Table":
+        """Build a table, splitting the arrays into fixed-size chunks."""
+        big = Chunk(schema, columns)
+        table = cls(schema, name=name)
+        for start in range(0, max(big.num_rows, 1), chunk_rows):
+            piece = big.slice(start, start + chunk_rows)
+            if piece.num_rows or big.num_rows == 0:
+                table.append(piece)
+        return table
+
+    def append(self, chunk: Chunk) -> None:
+        if chunk.schema.names != self.schema.names:
+            raise ValueError(
+                f"chunk schema {chunk.schema.names} does not match "
+                f"table schema {self.schema.names}")
+        self._chunks.append(chunk)
+
+    @property
+    def chunks(self) -> list[Chunk]:
+        return list(self._chunks)
+
+    @property
+    def num_rows(self) -> int:
+        return sum(c.num_rows for c in self._chunks)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(c.nbytes for c in self._chunks)
+
+    def column(self, name: str) -> np.ndarray:
+        """The full column, concatenated across chunks."""
+        if not self._chunks:
+            return np.empty(0, dtype=self.schema.field(name).numpy_dtype)
+        return np.concatenate([c.columns[name] for c in self._chunks])
+
+    def combined(self) -> Chunk:
+        """All rows as a single chunk."""
+        if not self._chunks:
+            return Chunk.empty(self.schema)
+        return Chunk.concat(self._chunks)
+
+    def rechunk(self, chunk_rows: int) -> "Table":
+        """The same rows re-split into chunks of ``chunk_rows``."""
+        return Table.from_arrays(self.schema, self.combined().columns,
+                                 name=self.name, chunk_rows=chunk_rows)
+
+    def __iter__(self) -> Iterator[Chunk]:
+        return iter(self._chunks)
+
+    def __repr__(self) -> str:
+        return (f"<Table {self.name or '?'} {self.num_rows} rows, "
+                f"{len(self._chunks)} chunks>")
+
+    def sorted_rows(self) -> list[tuple]:
+        """All rows sorted (order-insensitive comparison oracle)."""
+        return self.combined().sorted_rows()

@@ -1,0 +1,15 @@
+"""Interference-aware multi-query scheduling (§7.3)."""
+
+from .interference import LoadTracker, demand_vector
+from .scheduler import POLICIES, ScheduledQuery, Scheduler
+from .workloads import WorkloadMix, poisson_arrivals
+
+__all__ = [
+    "LoadTracker",
+    "POLICIES",
+    "ScheduledQuery",
+    "Scheduler",
+    "WorkloadMix",
+    "demand_vector",
+    "poisson_arrivals",
+]

@@ -1,0 +1,81 @@
+"""Interference modeling for multi-query scheduling (§7.3).
+
+"The enemy of sustained performance in this environment is
+interference": two plans contending for one limited resource lose
+more than their fair share.  The scheduler reasons about it with
+*demand vectors* — per-resource busy-time predictions extracted from
+the optimizer's :class:`~repro.optimizer.cost.PlanCost` — and a
+:class:`LoadTracker` that sums the vectors of currently running
+queries.  A variant's *interference score* is the projected busy time
+of the most loaded resource if that variant were admitted now.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Mapping
+
+from ..optimizer.cost import PlanCost
+
+__all__ = ["demand_vector", "LoadTracker"]
+
+
+def demand_vector(cost: PlanCost) -> dict[str, float]:
+    """Per-resource busy-seconds a placed plan will demand.
+
+    Devices and links are both resources; keys are site names and
+    link names, so variants that use disjoint hardware have disjoint
+    vectors.
+    """
+    vector: dict[str, float] = {}
+    for site, seconds in cost.device_time.items():
+        vector[f"device:{site}"] = vector.get(f"device:{site}", 0.0) \
+            + seconds
+    for link, seconds in cost.link_time.items():
+        vector[f"link:{link}"] = vector.get(f"link:{link}", 0.0) + seconds
+    return vector
+
+
+class LoadTracker:
+    """Aggregated demand of the queries currently in flight."""
+
+    def __init__(self):
+        self._loads: dict[str, dict[str, float]] = {}
+
+    def admit(self, job_name: str, vector: Mapping[str, float]) -> None:
+        if job_name in self._loads:
+            raise ValueError(f"job {job_name!r} already admitted")
+        self._loads[job_name] = dict(vector)
+
+    def release(self, job_name: str) -> None:
+        self._loads.pop(job_name, None)
+
+    @property
+    def active_jobs(self) -> list[str]:
+        return sorted(self._loads)
+
+    def load(self) -> dict[str, float]:
+        """Current total demand per resource."""
+        total: dict[str, float] = defaultdict(float)
+        for vector in self._loads.values():
+            for resource, seconds in vector.items():
+                total[resource] += seconds
+        return dict(total)
+
+    def interference_score(self, vector: Mapping[str, float]) -> float:
+        """Projected busiest-resource time if ``vector`` is admitted."""
+        load = self.load()
+        busiest = 0.0
+        for resource, seconds in vector.items():
+            busiest = max(busiest, load.get(resource, 0.0) + seconds)
+        # Resources the candidate does not touch still bound nothing
+        # for it — only shared resources interfere.
+        return busiest
+
+    def jobs_sharing(self, vector: Mapping[str, float]) -> int:
+        """How many active jobs share any resource with ``vector``."""
+        count = 0
+        for job_vector in self._loads.values():
+            if set(job_vector) & set(vector):
+                count += 1
+        return count

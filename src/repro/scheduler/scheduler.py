@@ -1,0 +1,200 @@
+"""The query scheduler: plan variants + DMA rate limiting (§7.3).
+
+Queries arrive over time and run *concurrently* on one shared fabric.
+For each arriving query the scheduler holds the variant set the
+optimizer produced (§7.3's first requirement: "plans should contain
+several data path alternatives") and picks the one minimizing the
+interference score against the currently running mix.  Its second
+lever is runtime resource adjustment: every query's channels go
+through a :class:`~repro.flow.ratelimit.RateLimiter`, and the
+scheduler rebalances the rates whenever the set of queries sharing
+the network changes ("rate-limiting DMA engines ... can take place
+dynamically").
+
+Policies:
+
+* ``greedy`` — everyone gets the best (full-offload) plan, no rate
+  control: the naive baseline that interferes with itself.
+* ``interference`` — variant choice by interference score.
+* ``interference+ratelimit`` — variant choice plus dynamic fair-share
+  rate limiting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..engine.dataflow import DataflowEngine
+from ..engine.logical import Query
+from ..engine.results import QueryResult
+from ..flow.ratelimit import RateLimiter
+from ..hardware.presets import HeterogeneousFabric
+from ..optimizer.optimizer import Optimizer, RankedPlacement
+from ..relational.catalog import Catalog
+from ..relational.table import Table
+from .interference import LoadTracker, demand_vector
+
+__all__ = ["Scheduler", "ScheduledQuery"]
+
+POLICIES = ("greedy", "interference", "interference+ratelimit")
+
+
+@dataclass
+class ScheduledQuery:
+    """Record of one query's trip through the scheduler."""
+
+    name: str
+    arrival: float
+    started: float = 0.0
+    finished: float = 0.0
+    variant_name: str = ""
+    table: Optional[Table] = None
+
+    @property
+    def latency(self) -> float:
+        return self.finished - self.arrival
+
+    @property
+    def run_time(self) -> float:
+        return self.finished - self.started
+
+
+@dataclass
+class _Job:
+    name: str
+    query: Query
+    arrival: float
+    variants: list[RankedPlacement] = field(default_factory=list)
+
+
+class Scheduler:
+    """Admits queries onto a shared fabric with interference control."""
+
+    def __init__(self, fabric: HeterogeneousFabric, catalog: Catalog,
+                 policy: str = "interference+ratelimit",
+                 variants_per_query: int = 3):
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r} (have {POLICIES})")
+        self.fabric = fabric
+        self.catalog = catalog
+        self.policy = policy
+        self.variants_per_query = variants_per_query
+        self.optimizer = Optimizer(fabric, catalog)
+        self.tracker = LoadTracker()
+        self._jobs: list[_Job] = []
+        self._limiters: dict[str, RateLimiter] = {}
+        self.records: dict[str, ScheduledQuery] = {}
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, name: str, query: Query,
+               arrival: float = 0.0) -> None:
+        """Queue a query to start at simulated time ``arrival``."""
+        if any(j.name == name for j in self._jobs):
+            raise ValueError(f"duplicate job name {name!r}")
+        variants = self.optimizer.plan_variants(
+            query, n=self.variants_per_query)
+        self._jobs.append(_Job(name, query, arrival, variants))
+
+    # -- policy ---------------------------------------------------------
+
+    def _pick_variant(self, job: _Job) -> RankedPlacement:
+        if self.policy == "greedy" or len(job.variants) == 1:
+            return job.variants[0]
+        scored = []
+        for variant in job.variants:
+            vector = demand_vector(variant.cost)
+            projected = self.tracker.interference_score(vector)
+            # Balance projected contention against the variant's own
+            # solo quality so a terrible plan is not chosen just
+            # because it is idle.
+            scored.append((projected + variant.cost.bottleneck_time,
+                           variant))
+        scored.sort(key=lambda pair: pair[0])
+        return scored[0][1]
+
+    def _network_bandwidth(self) -> float:
+        links = self.fabric.route(self.fabric.storage_location,
+                                  "compute0.node")
+        net = [l for l in links if l.segment == "network"]
+        return min(l.bandwidth for l in net) if net else float("inf")
+
+    def _rebalance(self) -> None:
+        """Fair-share the network among the active queries (§7.3)."""
+        if self.policy != "interference+ratelimit":
+            return
+        active = [name for name in self.tracker.active_jobs
+                  if name in self._limiters]
+        if not active:
+            return
+        share = self._network_bandwidth() / len(active)
+        for name in active:
+            self._limiters[name].set_rate(share)
+
+    # -- execution ---------------------------------------------------------
+
+    def _job_process(self, job: _Job):
+        sim = self.fabric.sim
+        record = self.records[job.name]
+        if job.arrival > sim.now:
+            yield sim.timeout(job.arrival - sim.now)
+        variant = self._pick_variant(job)
+        record.variant_name = variant.placement.name
+        record.started = sim.now
+        self.tracker.admit(job.name, demand_vector(variant.cost))
+
+        limiter = None
+        if self.policy == "interference+ratelimit":
+            limiter = RateLimiter(sim, rate=self._network_bandwidth(),
+                                  burst=1 << 20)
+            self._limiters[job.name] = limiter
+        self._rebalance()
+
+        engine = DataflowEngine(self.fabric, self.catalog,
+                                rate_limiter=limiter)
+        graph = engine.compile(job.query, variant.placement,
+                               name=job.name)
+        graph.start()
+        yield sim.all_of([s.done for s in graph.stages.values()])
+
+        record.finished = sim.now
+        sinks = [s for s in graph.stages.values() if s.is_sink]
+        schema = job.query.plan.output_schema(self.catalog)
+        table = Table(schema)
+        for sink in sinks:
+            for chunk in sink.collected:
+                table.append(chunk)
+        record.table = table
+        self.tracker.release(job.name)
+        self._limiters.pop(job.name, None)
+        self._rebalance()
+
+    def run(self) -> list[ScheduledQuery]:
+        """Run all submitted queries to completion; returns records."""
+        if not self._jobs:
+            return []
+        for job in self._jobs:
+            self.records[job.name] = ScheduledQuery(job.name, job.arrival)
+            self.fabric.sim.process(self._job_process(job),
+                                    name=f"sched.{job.name}")
+        self.fabric.run()
+        unfinished = [r.name for r in self.records.values()
+                      if r.table is None]
+        if unfinished:
+            raise RuntimeError(f"queries never finished: {unfinished}")
+        self._jobs = []
+        return [self.records[name] for name in sorted(self.records)]
+
+    # -- reporting ---------------------------------------------------------
+
+    def makespan(self) -> float:
+        """Time from first arrival to last completion."""
+        records = list(self.records.values())
+        return (max(r.finished for r in records)
+                - min(r.arrival for r in records))
+
+    def mean_latency(self) -> float:
+        records = list(self.records.values())
+        return sum(r.latency for r in records) / len(records)

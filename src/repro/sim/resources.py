@@ -1,0 +1,186 @@
+"""Shared-resource primitives for simulation processes.
+
+Two primitives cover everything the hardware models need:
+
+* :class:`Store` — a bounded FIFO queue of items.  Producers ``yield
+  store.put(item)`` and block when the queue is full; consumers
+  ``yield store.get()`` and block when it is empty.  Channels between
+  data-flow stages are Stores.
+* :class:`Resource` — a counted resource with FIFO admission.  Devices
+  (a DMA engine, a storage computational unit, a memory controller
+  port) are Resources: a process requests a slot, holds it for the
+  service time, then releases it.
+
+Both keep FIFO semantics so simulations stay deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from .kernel import Event, SimulationError, Simulator
+
+__all__ = ["Store", "Resource", "Gate"]
+
+
+class _StorePut(Event):
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.sim)
+        self.item = item
+
+
+class _StoreGet(Event):
+    pass
+
+
+class Store:
+    """A bounded FIFO queue connecting producer and consumer processes."""
+
+    def __init__(self, sim: Simulator, capacity: float = math.inf,
+                 name: str = ""):
+        if capacity <= 0:
+            raise SimulationError("Store capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.items: list[Any] = []
+        self._putters: list[_StorePut] = []
+        self._getters: list[_StoreGet] = []
+        # High-water mark, for flow-control experiments.
+        self.max_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Event that fires once ``item`` has been enqueued."""
+        event = _StorePut(self, item)
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self) -> Event:
+        """Event that fires with the next item once one is available."""
+        event = _StoreGet(self.sim)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get: ``(True, item)`` or ``(False, None)``."""
+        if self.items:
+            item = self.items.pop(0)
+            self._dispatch()
+            return True, item
+        return False, None
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Admit pending puts while there is room.
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.pop(0)
+                self.items.append(put.item)
+                self.max_occupancy = max(self.max_occupancy, len(self.items))
+                put.succeed()
+                progressed = True
+            # Serve pending gets while there are items.
+            while self._getters and self.items:
+                get = self._getters.pop(0)
+                get.succeed(self.items.pop(0))
+                progressed = True
+
+
+class _Request(Event):
+    def __init__(self, resource: "Resource", amount: int):
+        super().__init__(resource.sim)
+        self.amount = amount
+
+
+class Resource:
+    """A counted resource (e.g. device execution slots) with FIFO grants.
+
+    ``capacity`` is the number of concurrently grantable units.  A
+    request may ask for several units at once (e.g. a wide DMA
+    transfer); grants are strictly FIFO, so a large request at the
+    head of the line blocks smaller ones behind it — matching how
+    hardware arbitration queues behave.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError("Resource capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self._waiting: list[_Request] = []
+        # Accounting for utilization reports.
+        self.busy_time = 0.0
+        self._busy_since: Optional[float] = None
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self.in_use
+
+    def request(self, amount: int = 1) -> Event:
+        """Event that fires when ``amount`` units have been granted."""
+        if amount < 1 or amount > self.capacity:
+            raise SimulationError(
+                f"cannot request {amount} of capacity {self.capacity}")
+        event = _Request(self, amount)
+        self._waiting.append(event)
+        self._grant()
+        return event
+
+    def release(self, amount: int = 1) -> None:
+        """Return ``amount`` previously granted units."""
+        if amount > self.in_use:
+            raise SimulationError("releasing more than in use")
+        self.in_use -= amount
+        if self.in_use == 0 and self._busy_since is not None:
+            self.busy_time += self.sim.now - self._busy_since
+            self._busy_since = None
+        self._grant()
+
+    def _grant(self) -> None:
+        while self._waiting and self._waiting[0].amount <= self.available:
+            req = self._waiting.pop(0)
+            if self.in_use == 0:
+                self._busy_since = self.sim.now
+            self.in_use += req.amount
+            req.succeed()
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of time the resource was busy (any unit in use)."""
+        total = self.busy_time
+        if self._busy_since is not None:
+            total += self.sim.now - self._busy_since
+        horizon = elapsed if elapsed is not None else self.sim.now
+        if horizon <= 0:
+            return 0.0
+        return total / horizon
+
+
+class Gate:
+    """A re-arming broadcast signal.
+
+    ``wait()`` returns an event that fires at the next ``fire()``.
+    Used for completion barriers and for waking rate-limited senders.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._waiters: list[Event] = []
+
+    def wait(self) -> Event:
+        event = Event(self.sim)
+        self._waiters.append(event)
+        return event
+
+    def fire(self, value: Any = None) -> None:
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed(value)

@@ -1,0 +1,107 @@
+"""Metric collection for simulation runs.
+
+Every experiment in the paper reduces to the same questions — how many
+bytes crossed each segment of the data path, how busy each device was,
+and how long the query took — so the tracer is organized around three
+kinds of records:
+
+* **counters** — monotonically increasing totals (bytes per link,
+  chunks per channel, cache hits, dollars billed);
+* **series** — (time, value) samples (queue occupancy over time);
+* **spans** — named intervals (per-stage busy periods), from which
+  utilization and critical-path summaries are derived.
+
+A single :class:`Trace` is threaded through a fabric; reports are
+plain dicts so benchmarks can print them directly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Trace", "Span"]
+
+
+@dataclass
+class Span:
+    """A named interval of simulated time."""
+
+    name: str
+    start: float
+    end: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} still open")
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """Accumulates counters, series and spans during a run."""
+
+    counters: dict[str, float] = field(
+        default_factory=lambda: defaultdict(float))
+    series: dict[str, list[tuple[float, float]]] = field(
+        default_factory=lambda: defaultdict(list))
+    spans: dict[str, list[Span]] = field(
+        default_factory=lambda: defaultdict(list))
+
+    # -- recording -------------------------------------------------------
+
+    def add(self, counter: str, amount: float = 1.0) -> None:
+        """Increment a counter."""
+        self.counters[counter] += amount
+
+    def sample(self, series: str, time: float, value: float) -> None:
+        """Append a (time, value) sample to a series."""
+        self.series[series].append((time, value))
+
+    def open_span(self, name: str, time: float) -> Span:
+        """Open a new span; close it with :meth:`close_span`."""
+        span = Span(name, time)
+        self.spans[name].append(span)
+        return span
+
+    def close_span(self, span: Span, time: float) -> None:
+        span.end = time
+
+    # -- reading -----------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0 if never written)."""
+        return self.counters.get(name, 0.0)
+
+    def total(self, prefix: str) -> float:
+        """Sum of all counters whose name starts with ``prefix``."""
+        return sum(v for k, v in self.counters.items()
+                   if k.startswith(prefix))
+
+    def busy_time(self, span_name: str) -> float:
+        """Total closed-span time under ``span_name``."""
+        return sum(s.duration for s in self.spans.get(span_name, [])
+                   if s.end is not None)
+
+    def peak(self, series_name: str) -> float:
+        """Maximum sampled value of a series (0 if empty)."""
+        samples = self.series.get(series_name, [])
+        if not samples:
+            return 0.0
+        return max(v for _t, v in samples)
+
+    def merge(self, other: "Trace") -> None:
+        """Fold another trace's records into this one."""
+        for key, value in other.counters.items():
+            self.counters[key] += value
+        for key, samples in other.series.items():
+            self.series[key].extend(samples)
+        for key, spans in other.spans.items():
+            self.spans[key].extend(spans)
+
+    def report(self, prefix: str = "") -> dict[str, float]:
+        """Counters (optionally filtered by prefix) as a plain dict."""
+        return {k: v for k, v in sorted(self.counters.items())
+                if k.startswith(prefix)}

@@ -1,0 +1,123 @@
+"""Smoke tests: the CLI and every example run end to end."""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+from repro.cli import main
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "examples")
+
+
+def run_example(name: str, capsys) -> str:
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, f"{name}.py"))
+    spec = importlib.util.spec_from_file_location(f"example_{name}",
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_cli_demo(capsys):
+    assert main(["demo", "--rows", "5000"]) == 0
+    out = capsys.readouterr().out
+    assert "volcano" in out and "dataflow" in out
+    assert "optimizer-chosen sites" in out
+
+
+def test_cli_sites(capsys):
+    assert main(["sites"]) == 0
+    out = capsys.readouterr().out
+    assert "storage.cu" in out
+    assert "compute0.nearmem" in out
+
+
+def test_cli_sites_conventional(capsys):
+    assert main(["sites", "--spec", "conventional"]) == 0
+    out = capsys.readouterr().out
+    assert "storage.cu" not in out
+    assert "compute0.cpu" in out
+
+
+@pytest.mark.parametrize("placement", ["optimize", "pushdown", "cpu"])
+def test_cli_query(capsys, placement):
+    assert main(["query", "--rows", "5000", "--selectivity", "0.1",
+                 "--placement", placement]) == 0
+    out = capsys.readouterr().out
+    assert "rows out" in out
+    assert "network" in out
+
+
+def test_cli_query_with_zonemaps(capsys):
+    assert main(["query", "--rows", "5000", "--zonemaps"]) == 0
+
+
+def test_cli_experiments(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    for exp in ("F1", "F6", "C8", "E5"):
+        assert exp in out
+
+
+def test_cli_unknown_spec_rejected():
+    with pytest.raises(SystemExit):
+        main(["sites", "--spec", "quantum"])
+
+
+# ---------------------------------------------------------------------------
+# Examples
+# ---------------------------------------------------------------------------
+
+def test_example_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "all three engines agree" in out
+
+
+def test_example_cloud_analytics(capsys):
+    out = run_example("cloud_analytics", capsys)
+    assert "same answer, same scan bill" in out
+
+
+def test_example_distributed_join(capsys):
+    out = run_example("distributed_join", capsys)
+    assert "NICs did all the partitioning" in out
+
+
+def test_example_nic_telemetry(capsys):
+    out = run_example("nic_telemetry", capsys)
+    assert "the host CPU never saw the stream" in out
+
+
+def test_example_near_memory_htap(capsys):
+    out = run_example("near_memory_htap", capsys)
+    assert "a fraction of the memory traffic" in out
+
+
+def test_example_rack_scale(capsys):
+    out = run_example("rack_scale", capsys)
+    assert "compute nodes are stateless" in out
+
+
+def test_cli_sql(capsys):
+    assert main(["sql", "SELECT COUNT(*) AS n FROM lineitem "
+                 "WHERE l_quantity > 25", "--rows", "4000"]) == 0
+    out = capsys.readouterr().out
+    assert "placement" in out and "n" in out
+
+
+def test_cli_sql_join(capsys):
+    assert main(["sql",
+                 "SELECT o_priority, COUNT(*) AS n FROM lineitem "
+                 "JOIN orders ON l_orderkey = o_orderkey "
+                 "GROUP BY o_priority",
+                 "--rows", "4000", "--placement", "pushdown"]) == 0
+    out = capsys.readouterr().out
+    assert "o_priority" in out

@@ -1,0 +1,114 @@
+"""Tests for computed-column projection (Map) across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    AggSpec,
+    DataflowEngine,
+    Query,
+    VolcanoEngine,
+    pushdown,
+)
+from repro.engine.kernels import compile_kernel
+from repro.engine.operators import MapOp
+from repro.hardware import build_fabric, dataflow_spec
+from repro.relational import (
+    Catalog,
+    DataType,
+    Schema,
+    col,
+    lit,
+    make_lineitem,
+)
+
+
+def make_env(rows=3000):
+    fabric = build_fabric(dataflow_spec())
+    catalog = Catalog()
+    catalog.register("lineitem", make_lineitem(rows, chunk_rows=500))
+    return fabric, catalog
+
+
+REVENUE = (Query.scan("lineitem")
+           .with_column("net",
+                        col("l_extendedprice")
+                        * (lit(1.0) - col("l_discount")))
+           .filter(col("l_quantity") > 40)
+           .aggregate(["l_returnflag"], [AggSpec("sum", "net", "rev")]))
+
+
+def test_map_engines_agree():
+    fabric, catalog = make_env()
+    res_v = VolcanoEngine(fabric, catalog).execute(REVENUE)
+    fabric2, catalog2 = make_env()
+    res_d = DataflowEngine(fabric2, catalog2).execute(REVENUE)
+    rows_v, rows_d = res_v.table.sorted_rows(), res_d.table.sorted_rows()
+    assert len(rows_v) == len(rows_d) == 3
+    for a, b in zip(rows_v, rows_d):
+        assert a[0] == b[0]
+        assert a[1] == pytest.approx(b[1])
+
+
+def test_map_values_match_numpy_oracle():
+    fabric, catalog = make_env()
+    res = VolcanoEngine(fabric, catalog).execute(REVENUE)
+    table = catalog.table("lineitem")
+    price = table.column("l_extendedprice")
+    disc = table.column("l_discount")
+    qty = table.column("l_quantity")
+    flags = table.column("l_returnflag")
+    net = price * (1.0 - disc)
+    for flag, rev in res.table.sorted_rows():
+        mask = (qty > 40) & (flags == flag)
+        assert rev == pytest.approx(net[mask].sum())
+
+
+def test_map_schema_appends_float_column():
+    fabric, catalog = make_env()
+    plan = Query.scan("lineitem").with_column(
+        "x", col("l_quantity") * lit(2)).plan
+    schema = plan.output_schema(catalog)
+    assert schema.names[-1] == "x"
+    assert schema.field("x").dtype == DataType.FLOAT64
+
+
+def test_map_rejects_shadowing():
+    fabric, catalog = make_env()
+    plan = Query.scan("lineitem").with_column(
+        "l_quantity", col("l_quantity") * lit(2)).plan
+    with pytest.raises(ValueError, match="shadows"):
+        plan.output_schema(catalog)
+
+
+def test_map_requires_expressions():
+    from repro.engine.logical import Map, Scan
+    with pytest.raises(ValueError):
+        Map(Scan("t"), {})
+
+
+def test_map_pushdown_placement_offloads():
+    fabric, catalog = make_env()
+    placement = pushdown(REVENUE.plan, fabric)
+    map_node = REVENUE.plan.children[0].children[0]
+    from repro.engine.logical import Map
+    assert isinstance(map_node, Map)
+    assert placement.sites[map_node.node_id] == ["storage.cu"]
+
+
+def test_map_kernel_compiles_with_alu_logic():
+    schema = Schema.of(("a", DataType.INT64), ("b", DataType.FLOAT64),
+                       ("net", DataType.FLOAT64))
+    op = MapOp({"net": col("a") * col("b")}, schema)
+    kernel = compile_kernel(op)
+    assert kernel.logic_bytes > 0
+    assert kernel.registers["unit"] == "map"
+
+
+def test_map_op_empty_chunk():
+    schema = Schema.of(("a", DataType.INT64), ("x", DataType.FLOAT64))
+    op = MapOp({"x": col("a") + lit(1)}, schema)
+    from repro.relational import Chunk
+    empty = Chunk(Schema.of(("a", DataType.INT64)),
+                  {"a": np.empty(0, dtype=np.int64)})
+    assert op.process(empty) == []

@@ -1,0 +1,179 @@
+"""Tests for schema, chunk, and table."""
+
+import numpy as np
+import pytest
+
+from repro.relational import Chunk, DataType, Field, Schema, Table
+
+
+def small_schema():
+    return Schema.of(("a", DataType.INT64), ("b", DataType.FLOAT64),
+                     ("s", DataType.STRING, 8))
+
+
+def small_chunk():
+    return Chunk(small_schema(), {
+        "a": np.array([1, 2, 3], dtype=np.int64),
+        "b": np.array([1.5, 2.5, 3.5]),
+        "s": np.array(["x", "y", "z"]),
+    })
+
+
+# ---------------------------------------------------------------------------
+# Schema
+# ---------------------------------------------------------------------------
+
+def test_schema_row_nbytes():
+    schema = small_schema()
+    # int64 (8) + float64 (8) + U8 string (8*4)
+    assert schema.row_nbytes == 8 + 8 + 32
+
+
+def test_schema_duplicate_names_rejected():
+    with pytest.raises(ValueError):
+        Schema.of(("a", DataType.INT64), ("a", DataType.INT64))
+
+
+def test_schema_unknown_type_rejected():
+    with pytest.raises(ValueError):
+        Field("x", "varchar")
+
+
+def test_schema_project_preserves_order():
+    schema = small_schema()
+    proj = schema.project(["s", "a"])
+    assert proj.names == ["s", "a"]
+
+
+def test_schema_project_unknown_column():
+    with pytest.raises(KeyError):
+        small_schema().project(["nope"])
+
+
+def test_schema_concat_with_prefix():
+    left = Schema.of(("a", DataType.INT64))
+    right = Schema.of(("a", DataType.INT64), ("b", DataType.FLOAT64))
+    joined = left.concat(right, prefix="r_")
+    assert joined.names == ["a", "r_a", "r_b"]
+
+
+# ---------------------------------------------------------------------------
+# Chunk
+# ---------------------------------------------------------------------------
+
+def test_chunk_nbytes_exact():
+    chunk = small_chunk()
+    assert chunk.nbytes == 3 * 8 + 3 * 8 + 3 * 32
+
+
+def test_chunk_ragged_columns_rejected():
+    with pytest.raises(ValueError):
+        Chunk(Schema.of(("a", DataType.INT64), ("b", DataType.INT64)),
+              {"a": np.array([1, 2]), "b": np.array([1])})
+
+
+def test_chunk_missing_column_rejected():
+    with pytest.raises(ValueError):
+        Chunk(small_schema(), {"a": np.array([1])})
+
+
+def test_chunk_filter_mask():
+    chunk = small_chunk()
+    out = chunk.filter(np.array([True, False, True]))
+    assert out.column("a").tolist() == [1, 3]
+    assert out.column("s").tolist() == ["x", "z"]
+
+
+def test_chunk_filter_wrong_mask_length():
+    with pytest.raises(ValueError):
+        small_chunk().filter(np.array([True]))
+
+
+def test_chunk_project():
+    out = small_chunk().project(["b"])
+    assert out.schema.names == ["b"]
+    assert out.nbytes == 3 * 8
+
+
+def test_chunk_take_reorders():
+    out = small_chunk().take(np.array([2, 0, 0]))
+    assert out.column("a").tolist() == [3, 1, 1]
+
+
+def test_chunk_concat_roundtrip():
+    chunk = small_chunk()
+    joined = Chunk.concat([chunk, chunk])
+    assert joined.num_rows == 6
+    assert joined.column("a").tolist() == [1, 2, 3, 1, 2, 3]
+
+
+def test_chunk_concat_empty_rejected():
+    with pytest.raises(ValueError):
+        Chunk.concat([])
+
+
+def test_chunk_with_column():
+    chunk = small_chunk()
+    out = chunk.with_column(Field("c", DataType.INT64),
+                            np.array([7, 8, 9], dtype=np.int64))
+    assert out.schema.names == ["a", "b", "s", "c"]
+    assert out.column("c").tolist() == [7, 8, 9]
+
+
+def test_chunk_rename():
+    out = small_chunk().rename({"a": "alpha"})
+    assert out.schema.names == ["alpha", "b", "s"]
+    assert out.column("alpha").tolist() == [1, 2, 3]
+
+
+def test_chunk_to_rows():
+    rows = small_chunk().to_rows()
+    assert rows[0] == (1, 1.5, "x")
+    assert len(rows) == 3
+
+
+def test_chunk_dtype_coercion():
+    schema = Schema.of(("a", DataType.INT64))
+    chunk = Chunk(schema, {"a": [1.0, 2.0]})
+    assert chunk.column("a").dtype == np.int64
+
+
+# ---------------------------------------------------------------------------
+# Table
+# ---------------------------------------------------------------------------
+
+def test_table_from_arrays_chunking():
+    schema = Schema.of(("a", DataType.INT64))
+    table = Table.from_arrays(schema, {"a": np.arange(10)}, chunk_rows=3)
+    assert [c.num_rows for c in table.chunks] == [3, 3, 3, 1]
+    assert table.num_rows == 10
+
+
+def test_table_column_concatenated():
+    schema = Schema.of(("a", DataType.INT64))
+    table = Table.from_arrays(schema, {"a": np.arange(10)}, chunk_rows=4)
+    assert table.column("a").tolist() == list(range(10))
+
+
+def test_table_schema_mismatch_rejected():
+    schema = Schema.of(("a", DataType.INT64))
+    other = Schema.of(("b", DataType.INT64))
+    table = Table(schema)
+    with pytest.raises(ValueError):
+        table.append(Chunk(other, {"b": np.array([1])}))
+
+
+def test_table_rechunk_preserves_rows():
+    schema = Schema.of(("a", DataType.INT64))
+    table = Table.from_arrays(schema, {"a": np.arange(100)}, chunk_rows=7)
+    rechunked = table.rechunk(25)
+    assert rechunked.sorted_rows() == table.sorted_rows()
+    assert [c.num_rows for c in rechunked.chunks] == [25, 25, 25, 25]
+
+
+def test_empty_table():
+    schema = Schema.of(("a", DataType.INT64))
+    table = Table.from_arrays(schema, {"a": np.empty(0, dtype=np.int64)})
+    assert table.num_rows == 0
+    assert table.combined().num_rows == 0
+    assert table.column("a").tolist() == []

@@ -1,0 +1,239 @@
+"""Tests for interference tracking and the query scheduler."""
+
+import pytest
+
+from repro.engine import AggSpec, Query
+from repro.hardware import build_fabric, dataflow_spec
+from repro.optimizer import Optimizer
+from repro.relational import Catalog, col, make_lineitem, make_uniform_table
+from repro.scheduler import LoadTracker, ScheduledQuery, Scheduler, demand_vector
+
+
+def make_env(rows=4000, compute_nodes=1):
+    fabric = build_fabric(dataflow_spec(compute_nodes=compute_nodes))
+    catalog = Catalog()
+    catalog.register("lineitem", make_lineitem(rows, chunk_rows=500))
+    catalog.register("uniform", make_uniform_table(rows, distinct=50,
+                                                   chunk_rows=500))
+    return fabric, catalog
+
+
+HEAVY = (Query.scan("lineitem")
+         .filter(col("l_quantity") > 5)
+         .aggregate(["l_returnflag"],
+                    [AggSpec("sum", "l_extendedprice", "rev")]))
+LIGHT = Query.scan("uniform").filter(col("k0") < 5).count()
+
+
+# ---------------------------------------------------------------------------
+# LoadTracker
+# ---------------------------------------------------------------------------
+
+def test_demand_vector_covers_devices_and_links():
+    fabric, catalog = make_env()
+    optimizer = Optimizer(fabric, catalog)
+    best = optimizer.optimize(HEAVY)
+    vector = demand_vector(best.cost)
+    assert any(k.startswith("device:") for k in vector)
+    assert any(k.startswith("link:") for k in vector)
+    assert all(v >= 0 for v in vector.values())
+
+
+def test_load_tracker_admit_release():
+    tracker = LoadTracker()
+    tracker.admit("a", {"device:x": 1.0})
+    tracker.admit("b", {"device:x": 2.0, "link:l": 1.0})
+    assert tracker.load() == {"device:x": 3.0, "link:l": 1.0}
+    tracker.release("a")
+    assert tracker.load() == {"device:x": 2.0, "link:l": 1.0}
+    assert tracker.active_jobs == ["b"]
+
+
+def test_load_tracker_duplicate_admit_rejected():
+    tracker = LoadTracker()
+    tracker.admit("a", {})
+    with pytest.raises(ValueError):
+        tracker.admit("a", {})
+
+
+def test_interference_score_only_counts_shared_resources():
+    tracker = LoadTracker()
+    tracker.admit("busy", {"device:x": 10.0})
+    disjoint = {"device:y": 1.0}
+    overlapping = {"device:x": 1.0}
+    assert tracker.interference_score(disjoint) == 1.0
+    assert tracker.interference_score(overlapping) == 11.0
+    assert tracker.jobs_sharing(disjoint) == 0
+    assert tracker.jobs_sharing(overlapping) == 1
+
+
+# ---------------------------------------------------------------------------
+# Scheduler
+# ---------------------------------------------------------------------------
+
+def test_scheduler_runs_single_query():
+    fabric, catalog = make_env()
+    scheduler = Scheduler(fabric, catalog, policy="greedy")
+    scheduler.submit("q1", HEAVY)
+    records = scheduler.run()
+    assert len(records) == 1
+    assert records[0].table is not None
+    assert records[0].table.num_rows > 0
+    assert records[0].finished > records[0].started >= 0
+
+
+def test_scheduler_concurrent_queries_all_finish_correctly():
+    fabric, catalog = make_env()
+    scheduler = Scheduler(fabric, catalog,
+                          policy="interference+ratelimit")
+    for i in range(4):
+        scheduler.submit(f"q{i}", HEAVY, arrival=i * 1e-4)
+    records = scheduler.run()
+    assert len(records) == 4
+    tables = [r.table.sorted_rows() for r in records]
+    assert all(t == tables[0] for t in tables)  # identical queries
+
+
+def test_scheduler_rejects_duplicate_names():
+    fabric, catalog = make_env()
+    scheduler = Scheduler(fabric, catalog)
+    scheduler.submit("q", LIGHT)
+    with pytest.raises(ValueError):
+        scheduler.submit("q", LIGHT)
+
+
+def test_scheduler_rejects_unknown_policy():
+    fabric, catalog = make_env()
+    with pytest.raises(ValueError):
+        Scheduler(fabric, catalog, policy="magic")
+
+
+def test_scheduler_results_match_solo_execution():
+    fabric, catalog = make_env()
+    scheduler = Scheduler(fabric, catalog, policy="interference")
+    scheduler.submit("heavy", HEAVY)
+    scheduler.submit("light", LIGHT, arrival=1e-5)
+    records = {r.name: r for r in scheduler.run()}
+
+    from repro.engine import DataflowEngine
+    fabric2, catalog2 = make_env()
+    solo = DataflowEngine(fabric2, catalog2)
+    assert records["heavy"].table.sorted_rows() == \
+        solo.execute(HEAVY).table.sorted_rows()
+    fabric3, catalog3 = make_env()
+    solo3 = DataflowEngine(fabric3, catalog3)
+    assert records["light"].table.sorted_rows() == \
+        solo3.execute(LIGHT).table.sorted_rows()
+
+
+def test_interference_policy_spreads_variants():
+    """With the shared storage CU as the offload bottleneck, the
+    scheduler should not give everyone the same full-offload plan.
+
+    A LIKE predicate can only run on the storage CU or the CPU (NICs
+    have no regex engine), so concurrent queries must split between
+    the two — the §7.3 scenario.
+    """
+    fabric = build_fabric(dataflow_spec(storage_cu_scale=0.3,
+                                        ssd_gib_per_s=16,
+                                        network_gbits=400))
+    catalog = Catalog()
+    catalog.register("lineitem", make_lineitem(4000, chunk_rows=500))
+    regex_query = (Query.scan("lineitem")
+                   .filter(col("l_comment").like("%express%"))
+                   .project(["l_orderkey"]))
+    scheduler = Scheduler(fabric, catalog, policy="interference",
+                          variants_per_query=3)
+    for i in range(4):
+        scheduler.submit(f"q{i}", regex_query, arrival=0.0)
+    records = scheduler.run()
+    variants = [r.variant_name for r in records]
+    assert len(set(variants)) >= 2, variants
+    # All four still computed the right answer.
+    tables = [r.table.sorted_rows() for r in records]
+    assert all(t == tables[0] for t in tables)
+
+
+def test_greedy_policy_always_picks_best():
+    fabric, catalog = make_env()
+    scheduler = Scheduler(fabric, catalog, policy="greedy")
+    for i in range(3):
+        scheduler.submit(f"q{i}", HEAVY, arrival=0.0)
+    records = scheduler.run()
+    variants = {r.variant_name for r in records}
+    assert len(variants) == 1
+
+
+def test_scheduler_makespan_and_latency_reporting():
+    fabric, catalog = make_env()
+    scheduler = Scheduler(fabric, catalog, policy="greedy")
+    scheduler.submit("a", LIGHT, arrival=0.0)
+    scheduler.submit("b", LIGHT, arrival=1e-4)
+    scheduler.run()
+    assert scheduler.makespan() > 0
+    assert scheduler.mean_latency() > 0
+
+
+def test_scheduled_query_latency_properties():
+    record = ScheduledQuery("q", arrival=1.0, started=2.0, finished=5.0)
+    assert record.latency == 4.0
+    assert record.run_time == 3.0
+
+
+# ---------------------------------------------------------------------------
+# Workload utilities
+# ---------------------------------------------------------------------------
+
+def test_poisson_arrivals_seeded_and_monotone():
+    from repro.scheduler import poisson_arrivals
+    a = poisson_arrivals(50, rate=100.0, seed=7)
+    b = poisson_arrivals(50, rate=100.0, seed=7)
+    assert a == b
+    assert all(x < y for x, y in zip(a, a[1:]))
+    # Mean inter-arrival roughly 1/rate.
+    gaps = [y - x for x, y in zip([0.0] + a, a)]
+    assert 0.5 / 100 < sum(gaps) / len(gaps) < 2.0 / 100
+
+
+def test_poisson_requires_positive_rate():
+    from repro.scheduler import poisson_arrivals
+    with pytest.raises(ValueError):
+        poisson_arrivals(5, rate=0.0)
+
+
+def test_workload_mix_runs_open_workload():
+    from repro.scheduler import Scheduler, WorkloadMix
+    fabric, catalog = make_env()
+    mix = WorkloadMix(
+        templates={
+            "heavy": lambda: (Query.scan("lineitem")
+                              .filter(col("l_quantity") > 5)
+                              .count()),
+            "light": lambda: (Query.scan("uniform")
+                              .filter(col("k0") < 5).count()),
+        },
+        weights={"heavy": 1.0, "light": 3.0}, seed=11)
+    scheduler = Scheduler(fabric, catalog, policy="interference")
+    names = mix.submit_to(scheduler, n=6, rate=5000.0)
+    records = scheduler.run()
+    assert len(records) == 6
+    assert all(r.table is not None for r in records)
+    kinds = {name.split("#")[0] for name in names}
+    assert kinds <= {"heavy", "light"}
+
+
+def test_workload_mix_draw_respects_weights_roughly():
+    from repro.scheduler import WorkloadMix
+    mix = WorkloadMix(templates={"a": lambda: None,
+                                 "b": lambda: None},
+                      weights={"a": 9.0, "b": 1.0}, seed=3)
+    picks = mix.draw(500)
+    assert picks.count("a") > 350
+
+
+def test_workload_mix_validation():
+    from repro.scheduler import WorkloadMix
+    with pytest.raises(ValueError):
+        WorkloadMix(templates={})
+    with pytest.raises(ValueError):
+        WorkloadMix(templates={"a": lambda: None}, weights={})

@@ -1,0 +1,162 @@
+"""Tests for zone maps and zone-map-pruned scans (§2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import DataflowEngine, Query, VolcanoEngine
+from repro.hardware import build_fabric, dataflow_spec
+from repro.relational import (
+    Catalog,
+    Chunk,
+    DataType,
+    Schema,
+    Table,
+    col,
+    lit,
+)
+from repro.relational.zonemaps import ZoneMap, may_match, prunable_chunks
+
+
+def clustered_table(n=1000, chunk_rows=100):
+    """Values sorted on k0 -> zone maps prune well."""
+    schema = Schema.of(("k0", DataType.INT64), ("k1", DataType.INT64))
+    k0 = np.arange(n, dtype=np.int64)
+    rng = np.random.default_rng(1)
+    k1 = rng.integers(0, 100, size=n)
+    return Table.from_arrays(schema, {"k0": k0, "k1": k1},
+                             chunk_rows=chunk_rows)
+
+
+def shuffled_table(n=1000, chunk_rows=100):
+    schema = Schema.of(("k0", DataType.INT64), ("k1", DataType.INT64))
+    rng = np.random.default_rng(2)
+    k0 = rng.permutation(n).astype(np.int64)
+    k1 = rng.integers(0, 100, size=n)
+    return Table.from_arrays(schema, {"k0": k0, "k1": k1},
+                             chunk_rows=chunk_rows)
+
+
+# ---------------------------------------------------------------------------
+# ZoneMap construction and may_match
+# ---------------------------------------------------------------------------
+
+def test_zonemap_bounds_exact():
+    table = clustered_table()
+    zonemap = ZoneMap.build(table)
+    assert len(zonemap) == 10
+    assert zonemap.bounds(0, "k0") == (0.0, 99.0)
+    assert zonemap.bounds(9, "k0") == (900.0, 999.0)
+
+
+def test_zonemap_ignores_string_columns():
+    schema = Schema.of(("s", DataType.STRING, 8))
+    table = Table(schema, [Chunk(schema, {"s": np.array(["a", "b"])})])
+    zonemap = ZoneMap.build(table)
+    assert zonemap.bounds(0, "s") is None
+
+
+def test_may_match_comparisons():
+    zone = {"x": (10.0, 20.0)}
+    assert may_match(zone, col("x") == 15)
+    assert not may_match(zone, col("x") == 5)
+    assert may_match(zone, col("x") < 11)
+    assert not may_match(zone, col("x") < 10)
+    assert may_match(zone, col("x") <= 10)
+    assert may_match(zone, col("x") > 19)
+    assert not may_match(zone, col("x") > 20)
+    assert may_match(zone, col("x") >= 20)
+
+
+def test_may_match_not_equal_single_value_zone():
+    assert not may_match({"x": (7.0, 7.0)}, col("x") != 7)
+    assert may_match({"x": (7.0, 8.0)}, col("x") != 7)
+
+
+def test_may_match_between_and_isin():
+    zone = {"x": (10.0, 20.0)}
+    assert may_match(zone, col("x").between(15, 30))
+    assert not may_match(zone, col("x").between(21, 30))
+    assert may_match(zone, col("x").isin([1, 15]))
+    assert not may_match(zone, col("x").isin([1, 2, 30]))
+
+
+def test_may_match_boolean_combinators():
+    zone = {"x": (10.0, 20.0), "y": (0.0, 5.0)}
+    assert not may_match(zone, (col("x") > 5) & (col("y") > 10))
+    assert may_match(zone, (col("x") > 50) | (col("y") < 3))
+    assert not may_match(zone, (col("x") > 50) | (col("y") > 50))
+    # Negation and unknown constructs stay conservative.
+    assert may_match(zone, ~(col("x") > 5))
+
+
+def test_may_match_unknown_column_conservative():
+    assert may_match({}, col("unknown") > 100)
+    assert may_match({"x": (0.0, 1.0)}, col("x") > lit(0))
+
+
+def test_prunable_chunks_clustered_vs_shuffled():
+    predicate = col("k0") < 100
+    clustered = prunable_chunks(ZoneMap.build(clustered_table()),
+                                predicate)
+    shuffled = prunable_chunks(ZoneMap.build(shuffled_table()),
+                               predicate)
+    assert len(clustered) == 9     # all but the first chunk
+    assert len(shuffled) == 0      # every chunk spans the domain
+
+
+# ---------------------------------------------------------------------------
+# Engine integration
+# ---------------------------------------------------------------------------
+
+def env(table):
+    fabric = build_fabric(dataflow_spec())
+    catalog = Catalog()
+    catalog.register("t", table)
+    return fabric, catalog
+
+
+QUERY = Query.scan("t").filter(col("k0") < 100).project(["k1"])
+
+
+@pytest.mark.parametrize("engine_cls", [VolcanoEngine, DataflowEngine])
+def test_pruned_scan_same_answer(engine_cls):
+    table = clustered_table()
+    fabric1, catalog1 = env(table)
+    plain = engine_cls(fabric1, catalog1).execute(QUERY)
+    fabric2, catalog2 = env(table)
+    pruned = engine_cls(fabric2, catalog2,
+                        use_zonemaps=True).execute(QUERY)
+    assert plain.table.sorted_rows() == pruned.table.sorted_rows()
+    assert fabric2.trace.counter("zonemap.pruned_chunks") == 9
+    assert fabric1.trace.counter("zonemap.pruned_chunks") == 0
+
+
+@pytest.mark.parametrize("engine_cls", [VolcanoEngine, DataflowEngine])
+def test_pruning_reduces_storage_reads(engine_cls):
+    table = clustered_table()
+    fabric1, catalog1 = env(table)
+    engine_cls(fabric1, catalog1).execute(QUERY)
+    fabric2, catalog2 = env(table)
+    engine_cls(fabric2, catalog2, use_zonemaps=True).execute(QUERY)
+    assert fabric2.trace.counter("movement.storage.bytes") < \
+        0.2 * fabric1.trace.counter("movement.storage.bytes")
+
+
+def test_pruning_useless_on_shuffled_data():
+    table = shuffled_table()
+    fabric, catalog = env(table)
+    result = DataflowEngine(fabric, catalog,
+                            use_zonemaps=True).execute(QUERY)
+    assert fabric.trace.counter("zonemap.pruned_chunks") == 0
+    assert result.rows == 100
+
+
+def test_all_chunks_pruned_yields_empty_result():
+    table = clustered_table()
+    fabric, catalog = env(table)
+    query = Query.scan("t").filter(col("k0") > 10_000)
+    result = DataflowEngine(fabric, catalog,
+                            use_zonemaps=True).execute(query)
+    assert result.rows == 0
+    assert fabric.trace.counter("zonemap.pruned_chunks") == 10
+    assert fabric.trace.counter("movement.storage.bytes") == 0
