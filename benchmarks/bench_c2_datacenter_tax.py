@@ -19,7 +19,7 @@ from common import fmt_bytes, fmt_time, report
 from repro.cloud import EgressOp, IngressOp, ObjectStore, TaxConfig
 from repro.flow import StageGraph
 from repro.hardware import build_fabric, dataflow_spec
-from repro.relational import Catalog, col, make_lineitem
+from repro.relational import col, make_lineitem
 
 ROWS = 60_000
 CHUNK = 4_096

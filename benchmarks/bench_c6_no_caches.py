@@ -33,7 +33,6 @@ from repro import (
     make_uniform_table,
     pushdown,
 )
-from repro.cloud import plan_fingerprint
 
 ROWS = 60_000
 CHUNK = 4_096

@@ -19,7 +19,6 @@ from repro import (
     AggSpec,
     Catalog,
     DataflowEngine,
-    PlacementError,
     Query,
     build_fabric,
     col,

@@ -16,7 +16,7 @@ from common import fmt_bytes, fmt_time, report
 
 import numpy as np
 
-from repro import AggSpec, Catalog, build_fabric, dataflow_spec
+from repro import AggSpec, build_fabric, dataflow_spec
 from repro.engine.operators import MergeAggregate, PartialAggregate
 from repro.flow import StageGraph
 from repro.relational import DataType, Field, Schema, make_uniform_table

@@ -20,7 +20,6 @@ from repro.engine.operators import (
     SortOp,
 )
 from repro.relational import (
-    Chunk,
     DataType,
     Field,
     Schema,

@@ -92,15 +92,21 @@ def format_table(rows: list[dict], columns: Optional[list[str]] = None
 
 def report(exp_id: str, title: str, claim: str, rows: list[dict],
            columns: Optional[list[str]] = None, notes: str = "") -> str:
-    """Print and persist one experiment's result table."""
+    """Print one experiment's result table.
+
+    The canonical machine-readable record is the harness's
+    ``BENCH_<tag>.json`` (``repro bench``); the legacy per-experiment
+    text files are only written when ``REPRO_RESULTS_TXT=1`` is set.
+    """
     table = format_table(rows, columns)
     text = (f"== {exp_id}: {title} ==\n"
             f"paper: {claim}\n\n{table}\n")
     if notes:
         text += f"\nnotes: {notes}\n"
     print("\n" + text)
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, f"{exp_id.lower()}.txt")
-    with open(path, "w") as handle:
-        handle.write(text)
+    if os.environ.get("REPRO_RESULTS_TXT") == "1":
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{exp_id.lower()}.txt")
+        with open(path, "w") as handle:
+            handle.write(text)
     return text

@@ -1,0 +1,23 @@
+"""Thin wrapper so the harness runs from the benchmarks directory.
+
+Equivalent to ``PYTHONPATH=src python -m repro bench``::
+
+    python benchmarks/harness.py --smoke --tag local --out .
+
+The wrapper pins the bench directory to its own location, so
+experiment ids resolve regardless of the working directory.
+"""
+
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+os.environ.setdefault("REPRO_BENCH_DIR", _HERE)
+
+from repro.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,7 @@ movement, the compute-side work, and the wall-clock are not.
 Run:  python examples/cloud_analytics.py
 """
 
-from repro import Catalog, ObjectStore, build_fabric, col, \
+from repro import ObjectStore, build_fabric, col, \
     dataflow_spec, make_lineitem
 
 PREDICATE = (col("l_shipdate").between(9000, 9030)

@@ -18,7 +18,6 @@ Run:  python examples/nic_telemetry.py
 
 from repro import (
     AggSpec,
-    Catalog,
     DataType,
     Field,
     Schema,

@@ -1,0 +1,467 @@
+"""Machine-readable benchmark harness (``repro bench``).
+
+Two layers:
+
+* **Smoke scenarios** — small, fully instrumented query runs executed
+  on *both* engines.  Each scenario reports wall time, simulated
+  time, bytes moved per segment, per-link byte/chunk totals, device
+  utilization, the critical-path summary, and a canonical result
+  checksum; the harness fails loudly if the Volcano and data-flow
+  answers disagree.  These are the always-on health probes CI runs on
+  every push (``repro bench --smoke``).
+* **Experiment scripts** — the ``benchmarks/bench_*.py`` studies
+  (F1–F6, C1–C8, E1–E6).  The harness imports each script and calls
+  its ``run_<id>()`` entry point, recording wall time and the result
+  rows.  These are opt-in (``repro bench --exp f1,c3`` or ``--exp
+  all``) because the full set takes minutes.
+
+Both layers land in one schema-versioned JSON report
+(``BENCH_<tag>.json``, schema :data:`repro.obs.REPORT_SCHEMA`) so
+runs are diffable across commits and machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import os
+import sys
+import time
+from typing import Callable, Optional
+
+from .engine import (
+    AggSpec,
+    DataflowEngine,
+    Query,
+    VolcanoEngine,
+    cpu_only,
+)
+from .hardware import build_fabric, conventional_spec, dataflow_spec
+from .obs import (
+    combine_checksums,
+    fabric_snapshot,
+    make_report,
+    table_checksum,
+    validate_report,
+)
+from .relational import (
+    Catalog,
+    col,
+    make_lineitem,
+    make_orders,
+    make_uniform_table,
+)
+
+__all__ = ["SMOKE_SCENARIOS", "run_smoke", "run_experiments",
+           "write_report", "run_cli", "main"]
+
+DEFAULT_ROWS = 6000
+_CHUNK = 1000
+
+
+def _make_catalog(rows: int) -> Catalog:
+    catalog = Catalog()
+    catalog.register("lineitem", make_lineitem(rows, orders=rows // 4,
+                                               chunk_rows=_CHUNK))
+    catalog.register("orders", make_orders(rows // 4,
+                                           chunk_rows=_CHUNK))
+    catalog.register("uniform", make_uniform_table(rows, columns=3,
+                                                   distinct=50,
+                                                   chunk_rows=_CHUNK))
+    return catalog
+
+
+def _smoke_queries() -> dict[str, Query]:
+    return {
+        "filter_project": (
+            Query.scan("lineitem")
+            .filter(col("l_quantity") > 40)
+            .project(["l_orderkey", "l_extendedprice"])),
+        "group_by_sum": (
+            Query.scan("lineitem")
+            .filter(col("l_shipdate").between(8500, 10500))
+            .aggregate(["l_returnflag"],
+                       [AggSpec("sum", "l_extendedprice", "revenue"),
+                        AggSpec("count", alias="n")])),
+        "join_agg": (
+            Query.scan("lineitem")
+            .filter(col("l_quantity") > 10)
+            .join(Query.scan("orders")
+                  .filter(col("o_priority") <= 2),
+                  "l_orderkey", "o_orderkey")
+            .aggregate(["o_priority"],
+                       [AggSpec("sum", "l_extendedprice", "rev")])),
+        "sort_limit": (
+            Query.scan("uniform")
+            .filter(col("k0") < 25)
+            .sort(["k0", "k1"])
+            .limit(100)),
+    }
+
+
+def _engine_summary(result) -> dict:
+    return {
+        "elapsed_sim_s": result.elapsed,
+        "rows": result.rows,
+        "total_moved_bytes": result.total_bytes_moved,
+        "utilization": result.utilization,
+    }
+
+
+def _run_query_scenario(name: str, query: Query, rows: int,
+                        spec_factory: Callable = dataflow_spec,
+                        placement_factory: Optional[Callable] = None
+                        ) -> dict:
+    """Run one query on both engines over fresh fabrics; compare."""
+    started = time.perf_counter()
+    catalog = _make_catalog(rows)
+
+    fabric_v = build_fabric(spec_factory())
+    res_v = VolcanoEngine(fabric_v, catalog).execute(query)
+
+    fabric_d = build_fabric(spec_factory())
+    placement = (placement_factory(query.plan, fabric_d)
+                 if placement_factory else None)
+    res_d = DataflowEngine(fabric_d, catalog).execute(
+        query, placement=placement)
+
+    sum_v, sum_d = res_v.checksum(), res_d.checksum()
+    record = {
+        "name": name,
+        "rows": rows,
+        "wall_time_s": time.perf_counter() - started,
+        "sim_time_s": res_d.elapsed,
+        "checksum": sum_d,
+        "agree": sum_v == sum_d,
+        "engines": {"volcano": _engine_summary(res_v),
+                    "dataflow": _engine_summary(res_d)},
+    }
+    # The data-flow fabric is the architecture under study; its
+    # snapshot is the scenario's headline movement/utilization.
+    record.update({k: v for k, v in fabric_snapshot(fabric_d).items()
+                   if k != "sim_time_s"})
+    if not record["agree"]:
+        raise AssertionError(
+            f"smoke scenario {name!r}: engine results disagree "
+            f"(volcano {sum_v[:12]}..., dataflow {sum_d[:12]}...)")
+    return record
+
+
+def _run_conventional_scan(rows: int) -> dict:
+    """Volcano on the conventional fabric vs dataflow (cpu placement).
+
+    Exercises the conventional preset (no smart devices) and the
+    cpu_only placement path; the two answers must still agree.
+    """
+    query = (Query.scan("lineitem")
+             .filter(col("l_quantity") > 30)
+             .aggregate(["l_returnflag"],
+                        [AggSpec("count", alias="n")]))
+    started = time.perf_counter()
+    catalog = _make_catalog(rows)
+
+    fabric_v = build_fabric(conventional_spec())
+    res_v = VolcanoEngine(fabric_v, catalog).execute(query)
+
+    fabric_d = build_fabric(dataflow_spec())
+    res_d = DataflowEngine(fabric_d, catalog).execute(
+        query, placement=cpu_only(query.plan, fabric_d))
+
+    sum_v, sum_d = res_v.checksum(), res_d.checksum()
+    record = {
+        "name": "conventional_scan",
+        "rows": rows,
+        "wall_time_s": time.perf_counter() - started,
+        "sim_time_s": res_v.elapsed,
+        "checksum": sum_v,
+        "agree": sum_v == sum_d,
+        "engines": {"volcano": _engine_summary(res_v),
+                    "dataflow": _engine_summary(res_d)},
+    }
+    record.update({k: v for k, v in fabric_snapshot(fabric_v).items()
+                   if k != "sim_time_s"})
+    if not record["agree"]:
+        raise AssertionError(
+            "smoke scenario 'conventional_scan': engine results "
+            f"disagree (volcano {sum_v[:12]}..., dataflow "
+            f"{sum_d[:12]}...)")
+    return record
+
+
+def _run_scheduler_mix(rows: int) -> dict:
+    """Concurrent queries through the scheduler, checked per query."""
+    from .scheduler import Scheduler
+
+    started = time.perf_counter()
+    catalog = _make_catalog(rows)
+    queries = {
+        "q_filter": (Query.scan("lineitem")
+                     .filter(col("l_quantity") > 40)
+                     .project(["l_orderkey"])),
+        "q_agg": (Query.scan("lineitem")
+                  .aggregate(["l_returnflag"],
+                             [AggSpec("count", alias="n")])),
+        "q_sort": (Query.scan("uniform")
+                   .filter(col("k0") < 20)
+                   .sort(["k0"])
+                   .limit(50)),
+    }
+    fabric = build_fabric(dataflow_spec())
+    scheduler = Scheduler(fabric, catalog,
+                          policy="interference+ratelimit")
+    for i, (name, query) in enumerate(sorted(queries.items())):
+        scheduler.submit(name, query, arrival=i * 1e-4)
+    records = scheduler.run()
+
+    checksums, agree = {}, True
+    for rec in records:
+        checksums[rec.name] = table_checksum(rec.table)
+        oracle_fabric = build_fabric(dataflow_spec())
+        oracle = VolcanoEngine(oracle_fabric, catalog).execute(
+            queries[rec.name])
+        agree = agree and (table_checksum(oracle.table)
+                           == checksums[rec.name])
+    record = {
+        "name": "scheduler_mix",
+        "rows": rows,
+        "wall_time_s": time.perf_counter() - started,
+        "sim_time_s": scheduler.makespan(),
+        "checksum": combine_checksums(checksums),
+        "agree": agree,
+        "queries": {rec.name: {"latency_s": rec.latency,
+                               "variant": rec.variant_name}
+                    for rec in records},
+    }
+    record.update({k: v for k, v in fabric_snapshot(fabric).items()
+                   if k != "sim_time_s"})
+    if not agree:
+        raise AssertionError(
+            "smoke scenario 'scheduler_mix': a scheduled query's "
+            "result disagrees with the Volcano oracle")
+    return record
+
+
+SMOKE_SCENARIOS: dict[str, Callable[[int], dict]] = {}
+
+
+def _register_smoke() -> None:
+    for name, query in _smoke_queries().items():
+        SMOKE_SCENARIOS[name] = (
+            lambda rows, n=name, q=query:
+            _run_query_scenario(n, q, rows))
+    SMOKE_SCENARIOS["conventional_scan"] = _run_conventional_scan
+    SMOKE_SCENARIOS["scheduler_mix"] = _run_scheduler_mix
+
+
+_register_smoke()
+
+
+def run_smoke(rows: int = DEFAULT_ROWS,
+              only: Optional[list[str]] = None,
+              echo: Callable[[str], None] = lambda _line: None
+              ) -> list[dict]:
+    """Run the smoke scenarios; returns one record per scenario."""
+    names = only if only is not None else sorted(SMOKE_SCENARIOS)
+    unknown = [n for n in names if n not in SMOKE_SCENARIOS]
+    if unknown:
+        raise ValueError(f"unknown smoke scenarios {unknown} "
+                         f"(have {sorted(SMOKE_SCENARIOS)})")
+    records = []
+    for name in names:
+        record = SMOKE_SCENARIOS[name](rows)
+        echo(f"  smoke {name:18} sim {record['sim_time_s']:.6f}s  "
+             f"wall {record['wall_time_s']:.2f}s  "
+             f"checksum {record['checksum'][:12]}")
+        records.append(record)
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Experiment scripts (benchmarks/bench_*.py)
+# ---------------------------------------------------------------------------
+
+def default_bench_dir() -> str:
+    """Locate the ``benchmarks/`` directory.
+
+    Priority: ``$REPRO_BENCH_DIR``, then ``benchmarks/`` under the
+    current directory, then ``benchmarks/`` next to the repo's
+    ``src/`` parent (source checkouts).
+    """
+    env = os.environ.get("REPRO_BENCH_DIR")
+    if env:
+        return env
+    cwd_dir = os.path.join(os.getcwd(), "benchmarks")
+    if os.path.isdir(cwd_dir):
+        return cwd_dir
+    here = os.path.dirname(os.path.abspath(__file__))
+    repo_dir = os.path.normpath(
+        os.path.join(here, os.pardir, os.pardir, "benchmarks"))
+    return repo_dir
+
+
+def experiment_index(bench_dir: Optional[str] = None
+                     ) -> dict[str, str]:
+    """Map experiment id (lowercase) -> bench script path."""
+    from .cli import EXPERIMENTS
+    bench_dir = bench_dir or default_bench_dir()
+    return {exp_id.lower(): os.path.join(bench_dir, script)
+            for exp_id, _desc, script in EXPERIMENTS}
+
+
+def _sanitize(value, depth: int = 0):
+    """Coerce a run_<id>() return value to JSON-safe structures."""
+    if depth > 6:
+        return repr(value)
+    if isinstance(value, dict):
+        return {str(k): _sanitize(v, depth + 1)
+                for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v, depth + 1) for v in value]
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return value if value == value else None
+    try:  # numpy scalars
+        return _sanitize(value.item(), depth + 1)
+    except AttributeError:
+        return repr(value)
+
+
+def run_experiment(exp_id: str, bench_dir: Optional[str] = None
+                   ) -> dict:
+    """Import one bench script and call its ``run_<id>()`` entry."""
+    exp_id = exp_id.lower()
+    index = experiment_index(bench_dir)
+    if exp_id not in index:
+        raise ValueError(f"unknown experiment {exp_id!r} "
+                         f"(have {sorted(index)})")
+    path = index[exp_id]
+    bench_home = os.path.dirname(path)
+    module_name = os.path.splitext(os.path.basename(path))[0]
+    added = bench_home not in sys.path
+    if added:  # bench scripts import their sibling ``common``
+        sys.path.insert(0, bench_home)
+    try:
+        spec = importlib.util.spec_from_file_location(module_name, path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        entry = getattr(module, f"run_{exp_id}")
+        started = time.perf_counter()
+        rows = entry()
+        wall = time.perf_counter() - started
+    finally:
+        if added:
+            sys.path.remove(bench_home)
+    return {
+        "name": exp_id,
+        "script": os.path.basename(path),
+        "wall_time_s": wall,
+        "rows": _sanitize(rows),
+    }
+
+
+def run_experiments(exp_ids: list[str],
+                    bench_dir: Optional[str] = None,
+                    echo: Callable[[str], None] = lambda _line: None
+                    ) -> list[dict]:
+    records = []
+    for exp_id in exp_ids:
+        record = run_experiment(exp_id, bench_dir)
+        echo(f"  exp {exp_id:6} ({record['script']})  "
+             f"wall {record['wall_time_s']:.2f}s")
+        records.append(record)
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Report + CLI
+# ---------------------------------------------------------------------------
+
+def write_report(report: dict, out_dir: str) -> str:
+    """Validate and write ``BENCH_<tag>.json``; returns the path."""
+    validate_report(report)
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{report['tag']}.json")
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def run_cli(args) -> int:
+    echo = (lambda _line: None) if args.quiet else print
+    if args.list:
+        print("smoke scenarios:")
+        for name in sorted(SMOKE_SCENARIOS):
+            print(f"  {name}")
+        print("experiments:")
+        for exp_id, path in sorted(experiment_index(args.bench_dir
+                                                    ).items()):
+            print(f"  {exp_id:6} {os.path.basename(path)}")
+        return 0
+
+    exp_ids: list[str] = []
+    if args.exp:
+        if args.exp.strip().lower() == "all":
+            exp_ids = sorted(experiment_index(args.bench_dir))
+        else:
+            exp_ids = [e.strip().lower()
+                       for e in args.exp.split(",") if e.strip()]
+    run_smoke_set = args.smoke or not exp_ids
+
+    smoke: list[dict] = []
+    if run_smoke_set:
+        echo(f"running smoke scenarios (rows={args.rows}):")
+        smoke = run_smoke(rows=args.rows, echo=echo)
+    experiments: list[dict] = []
+    if exp_ids:
+        echo(f"running experiments: {', '.join(exp_ids)}")
+        experiments = run_experiments(exp_ids, args.bench_dir,
+                                      echo=echo)
+
+    from datetime import datetime, timezone
+    report = make_report(
+        args.tag, smoke, experiments,
+        created=datetime.now(timezone.utc).isoformat(
+            timespec="seconds"))
+    path = write_report(report, args.out)
+    echo(f"report: {path}  "
+         f"({report['totals']['benchmarks']} benchmarks, "
+         f"wall {report['totals']['wall_time_s']:.2f}s)")
+    return 0
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the instrumented smoke scenarios "
+                             "(default when no --exp is given)")
+    parser.add_argument("--exp", default="",
+                        help="comma-separated experiment ids "
+                             "(f1..f6,c1..c8,e1..e6) or 'all'")
+    parser.add_argument("--tag", default="local",
+                        help="report tag (file is BENCH_<tag>.json)")
+    parser.add_argument("--out", default=".",
+                        help="directory the report is written to")
+    parser.add_argument("--rows", type=int, default=DEFAULT_ROWS,
+                        help="base table rows for smoke scenarios")
+    parser.add_argument("--bench-dir", default=None,
+                        help="override the benchmarks/ directory")
+    parser.add_argument("--list", action="store_true",
+                        help="list scenarios and experiments, then exit")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress output")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="machine-readable benchmark harness")
+    add_bench_arguments(parser)
+    return run_cli(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -13,6 +13,10 @@ Commands
     policy and print per-segment movement.
 ``experiments``
     List every reproduced experiment and its benchmark file.
+``bench``
+    Run the machine-readable benchmark harness: instrumented smoke
+    scenarios (``--smoke``) and/or experiment scripts (``--exp``),
+    emitting a schema-versioned ``BENCH_<tag>.json`` report.
 """
 
 from __future__ import annotations
@@ -196,8 +200,14 @@ def cmd_experiments(_args) -> int:
     print(f"{'id':4} {'benchmark':36} description")
     for exp_id, description, bench in EXPERIMENTS:
         print(f"{exp_id:4} benchmarks/{bench:36} {description}")
-    print("\nrun all:  pytest benchmarks/ --benchmark-only")
+    print("\nrun all:  repro bench --exp all"
+          "   (or: pytest benchmarks/ --benchmark-only)")
     return 0
+
+
+def cmd_bench(args) -> int:
+    from .bench import run_cli
+    return run_cli(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -239,6 +249,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiments = sub.add_parser("experiments",
                                  help="list reproduced experiments")
     experiments.set_defaults(func=cmd_experiments)
+
+    from .bench import add_bench_arguments
+    bench = sub.add_parser(
+        "bench", help="run the benchmark harness -> BENCH_<tag>.json")
+    add_bench_arguments(bench)
+    bench.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -73,6 +73,7 @@ class BufferPool:
             victim_bytes = self.page_bytes
             self._resident_bytes -= victim_bytes
             self.dram.free(victim_bytes)
+            self.fabric.trace.add("bufferpool.evictions", 1)
         yield from self.fabric.storage.medium.read(nbytes)
         yield from self.fabric.transfer(
             self.fabric.storage_location,
@@ -83,4 +84,7 @@ class BufferPool:
         self.dram.allocate(self.page_bytes)
         self.peak_bytes = max(self.peak_bytes, self._resident_bytes)
         self.fabric.trace.add("bufferpool.misses", 1)
+        self.fabric.trace.sample(f"bufferpool{self.node}.resident",
+                                 self.fabric.sim.now,
+                                 self._resident_bytes)
         return False

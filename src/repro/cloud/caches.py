@@ -15,7 +15,7 @@ keyed by a plan fingerprint.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Generator, Optional
+from typing import Optional
 
 from ..engine.logical import (
     Aggregate,
@@ -72,6 +72,8 @@ class DataCache:
             _victim, victim_bytes = self._entries.popitem(last=False)
             self.used_bytes -= victim_bytes
             self.evictions += 1
+            if self.trace is not None:
+                self.trace.add(f"cache.{self.name}.evictions", 1)
         self._entries[key] = nbytes
         self.used_bytes += nbytes
 
@@ -147,8 +149,12 @@ class ResultCache:
         while self.used_bytes + nbytes > self.capacity_bytes:
             _k, victim = self._tables.popitem(last=False)
             self.used_bytes -= victim.nbytes
+            if self.trace is not None:
+                self.trace.add("resultcache.evictions", 1)
         self._tables[key] = table
         self.used_bytes += nbytes
+        if self.trace is not None:
+            self.trace.add("resultcache.stored_bytes", nbytes)
 
     @property
     def hit_rate(self) -> float:

@@ -12,10 +12,10 @@ but shipping only what survives it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, Optional
 
-from ..engine.operators import FilterOp, ProjectOp
+from ..engine.operators import FilterOp
 from ..hardware.storage import ComputationalStorage
 from ..relational.expressions import Expression
 from ..relational.formats import (
@@ -25,7 +25,7 @@ from ..relational.formats import (
     serialize_chunk,
 )
 from ..relational.table import Chunk, Table
-from ..sim import Simulator, Trace
+from ..sim import Trace
 
 __all__ = ["ObjectStore", "StoredObject", "Bill"]
 

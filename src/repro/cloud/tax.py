@@ -15,6 +15,7 @@ proposition, §4.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..engine.operators import Emit, PhysicalOp
 from ..hardware.device import OpKind
@@ -25,6 +26,7 @@ from ..relational.formats import (
     serialize_chunk,
 )
 from ..relational.table import Chunk
+from ..sim import Trace
 
 __all__ = ["TaxConfig", "WirePayload", "EgressOp", "IngressOp",
            "xor_cipher"]
@@ -78,8 +80,10 @@ class EgressOp(PhysicalOp):
 
     kind = OpKind.SERIALIZE
 
-    def __init__(self, config: TaxConfig = TaxConfig()):
+    def __init__(self, config: TaxConfig = TaxConfig(),
+                 trace: Optional[Trace] = None):
         self.config = config
+        self.trace = trace
         self.name = f"egress({'+'.join(config.steps) or 'none'})"
 
     def process(self, chunk: Chunk) -> list[Emit]:
@@ -90,6 +94,10 @@ class EgressOp(PhysicalOp):
             payload = compress_bytes(payload)
         if self.config.encrypt:
             payload = xor_cipher(payload)
+        if self.trace is not None:
+            self.trace.add("tax.egress.raw_bytes", chunk.nbytes)
+            self.trace.add("tax.egress.wire_bytes", len(payload))
+            self.trace.add("tax.egress.chunks", 1)
         return [Emit(WirePayload(payload, chunk.num_rows, chunk.nbytes,
                                  self.config))]
 
@@ -110,8 +118,10 @@ class IngressOp(PhysicalOp):
 
     kind = OpKind.DESERIALIZE
 
-    def __init__(self, config: TaxConfig = TaxConfig()):
+    def __init__(self, config: TaxConfig = TaxConfig(),
+                 trace: Optional[Trace] = None):
         self.config = config
+        self.trace = trace
         self.name = f"ingress({'+'.join(config.steps) or 'none'})"
 
     def process(self, payload) -> list[Emit]:
@@ -124,6 +134,11 @@ class IngressOp(PhysicalOp):
             raw = xor_cipher(raw)
         if self.config.compress:
             raw = decompress_bytes(raw)
+        if self.trace is not None:
+            self.trace.add("tax.ingress.wire_bytes", payload.nbytes)
+            self.trace.add("tax.ingress.raw_bytes",
+                           payload.original_nbytes)
+            self.trace.add("tax.ingress.chunks", 1)
         return [Emit(deserialize_chunk(raw))]
 
     def charge_bytes(self, payload) -> float:

@@ -314,19 +314,28 @@ class DataflowEngine:
         """Compile, run to completion, and package the result."""
         if isinstance(plan, Query):
             plan = plan.plan
-        snapshot = TraceSnapshot(self.fabric.trace)
+        trace = self.fabric.trace
+        snapshot = TraceSnapshot(trace)
+        started = self.fabric.sim.now
+        span = trace.open_span("query.dataflow", started)
         graph = self.compile(plan, placement, name=name)
         flow: FlowResult = graph.run()
+        trace.close_span(span, self.fabric.sim.now)
         sinks = [s for s in graph.stages.values() if s.is_sink]
         schema = plan.output_schema(self.catalog)
         table = Table(schema)
         for sink in sinks:
             for chunk in sink.collected:
                 table.append(chunk)
+        trace.add("engine.dataflow.queries", 1)
+        trace.add("engine.dataflow.stages", len(graph.stages))
+        trace.add("engine.dataflow.rows_out", table.num_rows)
         return QueryResult(
             table=table,
             elapsed=flow.elapsed,
             engine="dataflow",
             movement=snapshot.delta_prefix("movement."),
             counters=snapshot.delta_prefix(""),
+            utilization=snapshot.utilization_delta(
+                flow.elapsed, self.fabric.device_slots()),
         )

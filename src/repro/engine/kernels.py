@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..hardware.device import Device, OpKind
+from ..hardware.device import Device
 from ..relational.expressions import (
     And,
     Arith,

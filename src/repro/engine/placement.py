@@ -24,7 +24,6 @@ ranks them; these two are the endpoints of that spectrum.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from ..hardware.device import OpKind
 from ..hardware.presets import HeterogeneousFabric

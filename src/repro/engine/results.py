@@ -36,6 +36,35 @@ class TraceSnapshot:
                     out[key[len(prefix):]] = diff
         return out
 
+    def busy_delta(self) -> dict[str, float]:
+        """Per-device busy seconds accumulated since the snapshot.
+
+        Parsed from the cumulative ``device.<name>.busy_s`` counters,
+        so it works even when several queries share one fabric.
+        """
+        out = {}
+        for key, value in self.delta_prefix("device.").items():
+            if key.endswith(".busy_s"):
+                out[key[:-len(".busy_s")]] = value
+        return out
+
+    def utilization_delta(self, elapsed: float,
+                          slots: Optional[dict[str, int]] = None
+                          ) -> dict[str, float]:
+        """Per-device busy fraction over ``elapsed`` seconds, in [0, 1].
+
+        ``slots`` maps device name to its parallel slot count (busy
+        seconds accrue per slot); unknown devices assume one slot.
+        """
+        if elapsed <= 0:
+            return {}
+        slots = slots or {}
+        out = {}
+        for name, busy in self.busy_delta().items():
+            capacity = elapsed * max(1, slots.get(name, 1))
+            out[name] = min(1.0, max(0.0, busy / capacity))
+        return out
+
 
 @dataclass
 class QueryResult:
@@ -47,6 +76,16 @@ class QueryResult:
     movement: dict[str, float] = field(default_factory=dict)
     counters: dict[str, float] = field(default_factory=dict)
     peak_compute_dram: float = 0.0
+    utilization: dict[str, float] = field(default_factory=dict)
+
+    def checksum(self) -> str:
+        """Canonical content hash of the result table.
+
+        Identical across engines and placements for the same logical
+        answer (row order and float summation order are normalized).
+        """
+        from ..obs import table_checksum
+        return table_checksum(self.table)
 
     @property
     def rows(self) -> int:

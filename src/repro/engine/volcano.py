@@ -311,8 +311,10 @@ class VolcanoEngine:
         """Run a plan (or Query) to completion; returns the result."""
         if isinstance(plan, Query):
             plan = plan.plan
-        snapshot = TraceSnapshot(self.fabric.trace)
+        trace = self.fabric.trace
+        snapshot = TraceSnapshot(trace)
         started = self.fabric.sim.now
+        span = trace.open_span("query.volcano", started)
         self._dram_noted = 0.0
         root = self._build(plan)
         schema = plan.output_schema(self.catalog)
@@ -326,14 +328,21 @@ class VolcanoEngine:
                 collected.append(chunk)
 
         self.fabric.sim.run_process(driver())
+        finished = self.fabric.sim.now
+        trace.close_span(span, finished)
         table = Table(schema)
         for chunk in collected:
             table.append(chunk)
+        trace.add("engine.volcano.queries", 1)
+        trace.add("engine.volcano.chunks_out", len(collected))
+        trace.add("engine.volcano.rows_out", table.num_rows)
         return QueryResult(
             table=table,
-            elapsed=self.fabric.sim.now - started,
+            elapsed=finished - started,
             engine="volcano",
             movement=snapshot.delta_prefix("movement."),
             counters=snapshot.delta_prefix(""),
             peak_compute_dram=self._dram_noted,
+            utilization=snapshot.utilization_delta(
+                finished - started, self.fabric.device_slots()),
         )

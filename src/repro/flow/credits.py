@@ -62,7 +62,8 @@ class CreditChannel:
             self._tokens.items.append(True)
         self.in_flight_or_queued = 0
         self.max_outstanding = 0
-        self._reverse_latency = sum(l.latency for l in self.links)
+        self._reverse_latency = sum(link.latency
+                                    for link in self.links)
 
     # -- sending ---------------------------------------------------------
 
@@ -90,7 +91,9 @@ class CreditChannel:
             finally:
                 link._ports.release()
             propagation += link.latency
+            self.trace.tick(self.sim.now)
             self.trace.add(f"link.{link.name}.bytes", nbytes)
+            self.trace.add(f"link.{link.name}.chunks", 1)
             self.trace.add(f"movement.{link.segment}.bytes", nbytes)
             self.trace.add(f"flow.{self.name}.bytes", nbytes)
             if self.cpu_mediator is not None and nbytes > 0:

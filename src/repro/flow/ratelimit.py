@@ -12,23 +12,41 @@ from __future__ import annotations
 import math
 from typing import Generator, Optional
 
-from ..sim import Simulator
+from ..sim import Simulator, Trace
 
 __all__ = ["RateLimiter"]
 
 
 class RateLimiter:
-    """A deterministic token bucket metering bytes per second."""
+    """A deterministic token bucket metering bytes per second.
+
+    When given a ``trace``, the limiter reports how often and how long
+    it actually throttled (``ratelimit.<name>.waits`` /
+    ``.throttled_s`` / ``.bytes``) — the evidence the scheduler needs
+    to see whether its rate decisions bind.
+    """
 
     def __init__(self, sim: Simulator, rate: float,
-                 burst: Optional[float] = None):
+                 burst: Optional[float] = None,
+                 trace: Optional[Trace] = None,
+                 name: str = "default"):
         if rate <= 0:
             raise ValueError("rate must be positive")
         self.sim = sim
         self.rate = rate
         self.burst = burst if burst is not None else rate * 0.01
+        self.trace = trace
+        self.name = name
         self._tokens = self.burst
         self._last = sim.now
+
+    def _record(self, nbytes: float, wait: float) -> None:
+        if self.trace is None:
+            return
+        self.trace.add(f"ratelimit.{self.name}.bytes", nbytes)
+        if wait > 0:
+            self.trace.add(f"ratelimit.{self.name}.waits", 1)
+            self.trace.add(f"ratelimit.{self.name}.throttled_s", wait)
 
     def _refill(self) -> None:
         now = self.sim.now
@@ -53,6 +71,7 @@ class RateLimiter:
         self._refill()
         if self._tokens >= nbytes:
             self._tokens -= nbytes
+            self._record(nbytes, 0.0)
             yield self.sim.timeout(0.0)
             return
         deficit = nbytes - self._tokens
@@ -60,5 +79,6 @@ class RateLimiter:
         wait = deficit / self.rate
         if not math.isfinite(wait):
             raise ValueError(f"non-finite wait for {nbytes} bytes")
+        self._record(nbytes, wait)
         yield self.sim.timeout(wait)
         self._last = self.sim.now

@@ -65,7 +65,10 @@ class Stage:
         self.collected: list[Chunk] = []
         self.rows_in = 0
         self.rows_out = 0
+        self.chunks_in = 0
+        self.chunks_out = 0
         self._rr = itertools.count()
+        self._metric = f"stage.{graph.name}.{name}"
 
     # -- execution ---------------------------------------------------------
 
@@ -83,6 +86,11 @@ class Stage:
         for out in self.outputs:
             yield from out.send_end()
         self.done_at = self.graph.sim.now
+        trace = self.graph.trace
+        trace.add(f"{self._metric}.rows_in", self.rows_in)
+        trace.add(f"{self._metric}.rows_out", self.rows_out)
+        trace.add(f"{self._metric}.chunks_in", self.chunks_in)
+        trace.add(f"{self._metric}.chunks_out", self.chunks_out)
         self.done.succeed(self.name)
 
     def _install_kernels(self) -> Generator:
@@ -134,7 +142,15 @@ class Stage:
 
     def _process(self, chunk: Chunk) -> Generator:
         self.rows_in += chunk.num_rows
-        emits = yield from self._apply(chunk, start=0)
+        self.chunks_in += 1
+        # A busy span per chunk: the per-stage utilization and
+        # critical-path evidence the paper's offloading argument needs.
+        trace = self.graph.trace
+        span = trace.open_span(self._metric, self.graph.sim.now)
+        try:
+            emits = yield from self._apply(chunk, start=0)
+        finally:
+            trace.close_span(span, self.graph.sim.now)
         yield from self._route(emits)
 
     def _apply(self, chunk: Chunk, start: int) -> Generator:
@@ -174,6 +190,7 @@ class Stage:
     def _route(self, emits: list[Emit]) -> Generator:
         for emit in emits:
             self.rows_out += emit.chunk.num_rows
+            self.chunks_out += 1
             if self.is_sink or not self.outputs:
                 self.collected.append(emit.chunk)
                 continue
@@ -249,6 +266,7 @@ class StageGraph:
         self.channels: list[CreditChannel] = []
         self.started_at: Optional[float] = None
         self._started = False
+        self._span = None
 
     # -- construction ------------------------------------------------------
 
@@ -324,6 +342,11 @@ class StageGraph:
         self._validate()
         self._started = True
         self.started_at = self.sim.now
+        self._span = self.trace.open_span(f"graph.{self.name}",
+                                          self.sim.now)
+        self.trace.add(f"graph.{self.name}.stages", len(self.stages))
+        self.trace.add(f"graph.{self.name}.channels",
+                       len(self.channels))
         for stage in self.stages.values():
             self.sim.process(stage.run(),
                              name=f"{self.name}.{stage.name}")
@@ -347,6 +370,8 @@ class StageGraph:
                   for s in self.stages.values()
                   if s.is_sink and s.collected}
         finished_at = max(finished)
+        if self._span is not None and self._span.end is None:
+            self.trace.close_span(self._span, finished_at)
         return FlowResult(tables=tables,
                           elapsed=finished_at - self.started_at,
                           started_at=self.started_at,

@@ -151,7 +151,13 @@ class Device:
         try:
             yield self.sim.timeout(duration)
         finally:
-            self.trace.close_span(span, self.sim.now)
+            now = self.sim.now
+            self.trace.close_span(span, now)
+            # Cumulative busy seconds: the serializable counterpart of
+            # the span record, from which per-query utilization deltas
+            # are computed (see TraceSnapshot.busy_delta).
+            self.trace.add(f"device.{self.name}.busy_s",
+                           now - span.start)
             self._units.release()
         self.trace.add(f"device.{self.name}.bytes.{kind}", nbytes)
         self.trace.add(f"device.{self.name}.ops", 1)

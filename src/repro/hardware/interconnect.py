@@ -81,7 +81,9 @@ class Link:
             yield self.sim.timeout(self.transfer_time(nbytes))
         finally:
             self._ports.release()
+        self.trace.tick(self.sim.now)
         self.trace.add(f"link.{self.name}.bytes", nbytes)
+        self.trace.add(f"link.{self.name}.chunks", 1)
         self.trace.add(f"movement.{self.segment}.bytes", nbytes)
         if flow:
             self.trace.add(f"flow.{flow}.bytes", nbytes)

@@ -65,6 +65,7 @@ class DRAM:
                 f"DRAM {self.name}: {nbytes} requested, "
                 f"{self.capacity - self.used} free")
         self.used += nbytes
+        self.trace.add(f"dram.{self.name}.allocs", 1)
         self.trace.add(f"dram.{self.name}.allocated", nbytes)
         self.trace.sample(f"dram.{self.name}.used", self.sim.now, self.used)
 
@@ -73,6 +74,7 @@ class DRAM:
         if nbytes > self.used:
             raise MemoryError(f"DRAM {self.name}: freeing more than used")
         self.used -= nbytes
+        self.trace.add(f"dram.{self.name}.frees", 1)
         self.trace.sample(f"dram.{self.name}.used", self.sim.now, self.used)
 
     @property

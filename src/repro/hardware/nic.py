@@ -81,6 +81,18 @@ class NIC:
         """Whether the on-NIC processor (if any) can host ``kind``."""
         return self.processor is not None and self.processor.supports(kind)
 
+    def utilization(self, elapsed: Optional[float] = None
+                    ) -> dict[str, float]:
+        """Busy fractions of the DMA engines and on-NIC processor.
+
+        The quantities §7.3's scheduler reasons about when deciding
+        whether a NIC has headroom for another offloaded stage.
+        """
+        out = {"dma": self.dma.utilization(elapsed)}
+        if self.processor is not None:
+            out["processor"] = self.processor.utilization(elapsed)
+        return out
+
 
 class SmartNIC(NIC):
     """A NIC with a bump-in-the-wire stream processor (§4.3)."""

@@ -97,6 +97,8 @@ class StorageMedium:
             yield self.sim.timeout(self.read_time(nbytes))
         finally:
             self._channel.release()
+        self.trace.tick(self.sim.now)
+        self.trace.add(f"storage.{self.name}.reads", 1)
         self.trace.add(f"storage.{self.name}.bytes.read", nbytes)
         self.trace.add("movement.storage.bytes", nbytes)
 
@@ -108,6 +110,8 @@ class StorageMedium:
                 self.access_latency + nbytes / self.write_bandwidth)
         finally:
             self._channel.release()
+        self.trace.tick(self.sim.now)
+        self.trace.add(f"storage.{self.name}.writes", 1)
         self.trace.add(f"storage.{self.name}.bytes.write", nbytes)
         self.trace.add("movement.storage.bytes", nbytes)
 

@@ -13,7 +13,7 @@ byte counters are directly comparable.
 
 from __future__ import annotations
 
-from typing import Generator, Iterable, Optional
+from typing import Generator, Optional
 
 import networkx as nx
 
@@ -78,6 +78,11 @@ class Fabric:
     def link_between(self, a: str, b: str) -> Link:
         """The direct link joining two adjacent locations."""
         return self.graph.edges[a, b]["link"]
+
+    def device_slots(self) -> dict[str, int]:
+        """Parallel slot count per device (for utilization math)."""
+        return {name: device.slots
+                for name, device in self.devices.items()}
 
     # -- routing -----------------------------------------------------------
 

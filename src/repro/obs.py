@@ -1,0 +1,187 @@
+"""Observability helpers: checksums, fabric snapshots, report schema.
+
+This module turns the raw records a :class:`~repro.sim.trace.Trace`
+accumulates into the machine-readable evidence the paper's argument is
+made of:
+
+* :func:`table_checksum` — a canonical content hash of a result
+  table, stable across engines and placements (row order and float
+  summation order do not matter), so every perf run doubles as a
+  correctness run;
+* :func:`fabric_snapshot` — one fabric's movement, per-link
+  byte/chunk totals, device/link utilization, and critical-path
+  summary as a plain dict;
+* :func:`make_report` / :func:`validate_report` — the schema-versioned
+  JSON benchmark report (``BENCH_<tag>.json``) the harness emits and
+  CI archives.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+from typing import Optional
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "CHECKSUM_FLOAT_DIGITS",
+    "table_checksum",
+    "fabric_snapshot",
+    "make_report",
+    "validate_report",
+]
+
+REPORT_SCHEMA = "repro.bench/v1"
+"""Schema identifier embedded in benchmark reports."""
+
+CHECKSUM_FLOAT_DIGITS = 6
+"""Significant digits floats are rounded to before hashing.
+
+Different plans add floats in different orders, so bit-exact equality
+across engines is not attainable; six significant digits absorbs the
+summation-order jitter (relative error ~1e-12) while still catching
+any real wrong answer.
+"""
+
+_ROW_SEP = "\x1e"
+_CELL_SEP = "\x1f"
+
+
+def _canonical_cell(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        return format(value, f".{CHECKSUM_FLOAT_DIGITS}g")
+    if isinstance(value, bytes):
+        return value.hex()
+    return str(value)
+
+
+def table_checksum(table) -> str:
+    """SHA-256 over a canonical, order-insensitive table rendering.
+
+    Two engines that return the same rows (up to float summation
+    order) produce the same checksum; a dropped row, a wrong value, or
+    a changed schema produces a different one.
+    """
+    digest = hashlib.sha256()
+    digest.update(_CELL_SEP.join(table.schema.names).encode())
+    rows = [_CELL_SEP.join(_canonical_cell(v) for v in row)
+            for row in table.sorted_rows()]
+    rows.sort()  # canonical order even if sorted_rows changes policy
+    digest.update(_ROW_SEP.join(rows).encode())
+    return digest.hexdigest()
+
+
+def combine_checksums(checksums: dict[str, str]) -> str:
+    """One checksum over a named set of checksums (scheduler runs)."""
+    digest = hashlib.sha256()
+    for name in sorted(checksums):
+        digest.update(f"{name}={checksums[name]}".encode())
+    return digest.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Fabric snapshots
+# ---------------------------------------------------------------------------
+
+def fabric_snapshot(fabric, elapsed: Optional[float] = None,
+                    critical_path_top: int = 8) -> dict:
+    """Summarize one fabric's run as a JSON-serializable dict.
+
+    Includes bytes moved per data-path segment, per-link byte/chunk
+    totals, device and link utilization (clamped to [0, 1]), and the
+    trace's critical-path summary.
+    """
+    horizon = elapsed if elapsed is not None else fabric.sim.now
+    utilization = {
+        key: min(1.0, max(0.0, value))
+        for key, value in fabric.utilization_report(horizon).items()}
+    return {
+        "sim_time_s": horizon,
+        "movement_bytes": fabric.movement_report(),
+        "links": fabric.trace.link_report(),
+        "utilization": utilization,
+        "critical_path": fabric.trace.critical_path(
+            top=critical_path_top),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Benchmark reports
+# ---------------------------------------------------------------------------
+
+def make_report(tag: str, smoke: list[dict],
+                experiments: Optional[list[dict]] = None,
+                created: str = "") -> dict:
+    """Assemble the schema-versioned benchmark report."""
+    experiments = experiments or []
+    wall = sum(r.get("wall_time_s", 0.0) for r in smoke + experiments)
+    return {
+        "schema": REPORT_SCHEMA,
+        "tag": tag,
+        "created": created,
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "smoke": smoke,
+        "experiments": experiments,
+        "totals": {
+            "benchmarks": len(smoke) + len(experiments),
+            "wall_time_s": wall,
+        },
+    }
+
+
+_SMOKE_REQUIRED = ("name", "wall_time_s", "sim_time_s", "rows",
+                   "movement_bytes", "links", "utilization",
+                   "checksum", "agree")
+
+
+def _is_hex_digest(value) -> bool:
+    return (isinstance(value, str) and len(value) == 64
+            and all(c in "0123456789abcdef" for c in value))
+
+
+def validate_report(report: dict) -> bool:
+    """Check a benchmark report against the v1 schema.
+
+    Raises :class:`ValueError` with every violation found; returns
+    True when the report is valid.  Deliberately dependency-free (no
+    jsonschema in the image).
+    """
+    errors: list[str] = []
+    if report.get("schema") != REPORT_SCHEMA:
+        errors.append(f"schema is {report.get('schema')!r}, "
+                      f"expected {REPORT_SCHEMA!r}")
+    for key in ("tag", "smoke", "experiments", "totals"):
+        if key not in report:
+            errors.append(f"missing top-level key {key!r}")
+    for record in report.get("smoke", []):
+        name = record.get("name", "<unnamed>")
+        for key in _SMOKE_REQUIRED:
+            if key not in record:
+                errors.append(f"smoke[{name}]: missing {key!r}")
+        if not _is_hex_digest(record.get("checksum", "")):
+            errors.append(f"smoke[{name}]: checksum is not a "
+                          "sha256 hex digest")
+        if record.get("sim_time_s", 0.0) <= 0.0:
+            errors.append(f"smoke[{name}]: sim_time_s not positive")
+        for dev, value in record.get("utilization", {}).items():
+            if not 0.0 <= value <= 1.0:
+                errors.append(f"smoke[{name}]: utilization[{dev}] "
+                              f"= {value} outside [0, 1]")
+        for seg, nbytes in record.get("movement_bytes", {}).items():
+            if nbytes < 0:
+                errors.append(f"smoke[{name}]: movement_bytes[{seg}] "
+                              "negative")
+        links = record.get("links", {})
+        if links and sum(entry.get("bytes", 0.0)
+                         for entry in links.values()) <= 0.0:
+            errors.append(f"smoke[{name}]: all per-link byte "
+                          "counters are zero")
+    for record in report.get("experiments", []):
+        if "name" not in record or "wall_time_s" not in record:
+            errors.append("experiment record missing name/wall_time_s")
+    if errors:
+        raise ValueError("invalid benchmark report: "
+                         + "; ".join(errors))
+    return True

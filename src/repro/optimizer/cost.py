@@ -25,13 +25,9 @@ from typing import Optional
 
 from ..engine.logical import (
     Aggregate,
-    Filter,
     Join,
-    Limit,
     PlanNode,
-    Project,
     Scan,
-    Sort,
 )
 from ..engine.operators import partial_state_schema
 from ..engine.placement import Placement, _node_kind

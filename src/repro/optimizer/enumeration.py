@@ -17,7 +17,7 @@ enumeration predictable on deep plans.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, Optional
+from typing import Iterator
 
 from ..engine.logical import (
     Aggregate,

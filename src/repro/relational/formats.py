@@ -16,7 +16,7 @@ import zlib
 
 import numpy as np
 
-from .schema import DataType, Field, Schema
+from .schema import Field, Schema
 from .table import Chunk
 
 __all__ = [

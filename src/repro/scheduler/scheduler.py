@@ -27,7 +27,6 @@ from typing import Optional
 
 from ..engine.dataflow import DataflowEngine
 from ..engine.logical import Query
-from ..engine.results import QueryResult
 from ..flow.ratelimit import RateLimiter
 from ..hardware.presets import HeterogeneousFabric
 from ..optimizer.optimizer import Optimizer, RankedPlacement
@@ -118,8 +117,9 @@ class Scheduler:
     def _network_bandwidth(self) -> float:
         links = self.fabric.route(self.fabric.storage_location,
                                   "compute0.node")
-        net = [l for l in links if l.segment == "network"]
-        return min(l.bandwidth for l in net) if net else float("inf")
+        net = [link for link in links if link.segment == "network"]
+        return (min(link.bandwidth for link in net)
+                if net else float("inf"))
 
     def _rebalance(self) -> None:
         """Fair-share the network among the active queries (§7.3)."""
@@ -137,6 +137,7 @@ class Scheduler:
 
     def _job_process(self, job: _Job):
         sim = self.fabric.sim
+        trace = self.fabric.trace
         record = self.records[job.name]
         if job.arrival > sim.now:
             yield sim.timeout(job.arrival - sim.now)
@@ -144,11 +145,16 @@ class Scheduler:
         record.variant_name = variant.placement.name
         record.started = sim.now
         self.tracker.admit(job.name, demand_vector(variant.cost))
+        span = trace.open_span(f"sched.query.{job.name}", sim.now)
+        trace.add("sched.admitted", 1)
+        trace.sample("sched.active", sim.now,
+                     len(self.tracker.active_jobs))
 
         limiter = None
         if self.policy == "interference+ratelimit":
             limiter = RateLimiter(sim, rate=self._network_bandwidth(),
-                                  burst=1 << 20)
+                                  burst=1 << 20, trace=trace,
+                                  name=job.name)
             self._limiters[job.name] = limiter
         self._rebalance()
 
@@ -160,6 +166,8 @@ class Scheduler:
         yield sim.all_of([s.done for s in graph.stages.values()])
 
         record.finished = sim.now
+        trace.close_span(span, sim.now)
+        trace.add("sched.completed", 1)
         sinks = [s for s in graph.stages.values() if s.is_sink]
         schema = job.query.plan.output_schema(self.catalog)
         table = Table(schema)
@@ -168,6 +176,8 @@ class Scheduler:
                 table.append(chunk)
         record.table = table
         self.tracker.release(job.name)
+        trace.sample("sched.active", sim.now,
+                     len(self.tracker.active_jobs))
         self._limiters.pop(job.name, None)
         self._rebalance()
 

@@ -10,7 +10,7 @@ comparisons run the *identical* (seeded) workload.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np

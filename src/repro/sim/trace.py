@@ -1,4 +1,4 @@
-"""Metric collection for simulation runs.
+"""Metric collection for simulation runs: the observability registry.
 
 Every experiment in the paper reduces to the same questions — how many
 bytes crossed each segment of the data path, how busy each device was,
@@ -11,8 +11,24 @@ kinds of records:
 * **spans** — named intervals (per-stage busy periods), from which
   utilization and critical-path summaries are derived.
 
-A single :class:`Trace` is threaded through a fabric; reports are
-plain dicts so benchmarks can print them directly.
+A single :class:`Trace` is threaded through a fabric.  On top of the
+raw records it derives the quantities reports need: per-span busy
+time and utilization (:meth:`Trace.busy_time`,
+:meth:`Trace.utilization`), per-device utilization from the
+``device.<name>.busy_s`` counters every :class:`~repro.hardware.device.
+Device` maintains (:meth:`Trace.device_utilization`), per-link
+byte/chunk totals (:meth:`Trace.link_report`), and a critical-path
+summary ranking span names by total busy time
+(:meth:`Trace.critical_path`).
+
+Traces serialize to a schema-versioned plain dict
+(:meth:`Trace.to_dict` / :meth:`Trace.from_dict`) so benchmark
+harnesses can persist them as JSON.
+
+The trace keeps a *clock watermark* — the largest simulated time it
+has seen — so that spans still open at report time have a well-defined
+duration (they are measured up to the watermark instead of raising).
+A mid-run report therefore never crashes a benchmark.
 """
 
 from __future__ import annotations
@@ -21,22 +37,38 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Optional
 
-__all__ = ["Trace", "Span"]
+__all__ = ["Trace", "Span", "TRACE_SCHEMA"]
+
+TRACE_SCHEMA = "repro.trace/v1"
+"""Schema identifier embedded in serialized traces."""
 
 
 @dataclass
 class Span:
-    """A named interval of simulated time."""
+    """A named interval of simulated time.
+
+    ``end is None`` marks a span that is still open.  An open span's
+    ``duration`` is measured up to the owning trace's clock watermark
+    (0.0 for an orphan span), so reports taken mid-run never raise.
+    """
 
     name: str
     start: float
     end: Optional[float] = None
+    trace: Optional["Trace"] = field(default=None, repr=False,
+                                     compare=False)
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
 
     @property
     def duration(self) -> float:
-        if self.end is None:
-            raise ValueError(f"span {self.name!r} still open")
-        return self.end - self.start
+        if self.end is not None:
+            return self.end - self.start
+        if self.trace is not None:
+            return max(self.trace.clock - self.start, 0.0)
+        return 0.0
 
 
 @dataclass
@@ -49,6 +81,7 @@ class Trace:
         default_factory=lambda: defaultdict(list))
     spans: dict[str, list[Span]] = field(
         default_factory=lambda: defaultdict(list))
+    clock: float = 0.0
 
     # -- recording -------------------------------------------------------
 
@@ -56,18 +89,42 @@ class Trace:
         """Increment a counter."""
         self.counters[counter] += amount
 
+    def tick(self, time: float) -> None:
+        """Advance the clock watermark (never moves backwards)."""
+        if time > self.clock:
+            self.clock = time
+
     def sample(self, series: str, time: float, value: float) -> None:
         """Append a (time, value) sample to a series."""
+        self.tick(time)
         self.series[series].append((time, value))
 
     def open_span(self, name: str, time: float) -> Span:
         """Open a new span; close it with :meth:`close_span`."""
-        span = Span(name, time)
+        self.tick(time)
+        span = Span(name, time, trace=self)
         self.spans[name].append(span)
         return span
 
     def close_span(self, span: Span, time: float) -> None:
+        self.tick(time)
         span.end = time
+
+    def close_open_spans(self, time: Optional[float] = None) -> int:
+        """Close every still-open span at ``time`` (default: the clock).
+
+        Returns the number of spans closed.  Used before serializing a
+        trace mid-run so the snapshot is self-contained.
+        """
+        when = self.clock if time is None else time
+        self.tick(when)
+        closed = 0
+        for spans in self.spans.values():
+            for span in spans:
+                if span.end is None:
+                    span.end = max(when, span.start)
+                    closed += 1
+        return closed
 
     # -- reading -----------------------------------------------------------
 
@@ -81,9 +138,25 @@ class Trace:
                    if k.startswith(prefix))
 
     def busy_time(self, span_name: str) -> float:
-        """Total closed-span time under ``span_name``."""
-        return sum(s.duration for s in self.spans.get(span_name, [])
-                   if s.end is not None)
+        """Total span time under ``span_name``.
+
+        Open spans count up to the clock watermark, so a mid-run
+        reading reflects work in progress instead of raising.
+        """
+        return sum(s.duration for s in self.spans.get(span_name, []))
+
+    def utilization(self, span_name: str,
+                    elapsed: Optional[float] = None) -> float:
+        """Busy fraction for one span name, clamped to [0, 1].
+
+        ``elapsed`` defaults to the clock watermark.  Overlapping
+        spans (multi-slot devices) are clamped rather than summed
+        past 1.
+        """
+        horizon = self.clock if elapsed is None else elapsed
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time(span_name) / horizon)
 
     def peak(self, series_name: str) -> float:
         """Maximum sampled value of a series (0 if empty)."""
@@ -100,8 +173,116 @@ class Trace:
             self.series[key].extend(samples)
         for key, spans in other.spans.items():
             self.spans[key].extend(spans)
+        self.tick(other.clock)
 
     def report(self, prefix: str = "") -> dict[str, float]:
         """Counters (optionally filtered by prefix) as a plain dict."""
         return {k: v for k, v in sorted(self.counters.items())
                 if k.startswith(prefix)}
+
+    # -- derived reports ---------------------------------------------------
+
+    def span_summary(self) -> dict[str, dict[str, float]]:
+        """Per span name: count, open count, total/mean/max duration."""
+        out: dict[str, dict[str, float]] = {}
+        for name, spans in sorted(self.spans.items()):
+            if not spans:
+                continue
+            durations = [s.duration for s in spans]
+            total = sum(durations)
+            out[name] = {
+                "count": float(len(spans)),
+                "open": float(sum(1 for s in spans if not s.closed)),
+                "total_s": total,
+                "mean_s": total / len(spans),
+                "max_s": max(durations),
+            }
+        return out
+
+    def critical_path(self, top: Optional[int] = None
+                      ) -> list[dict[str, float]]:
+        """Span names ranked by total busy time, busiest first.
+
+        The head of this list is where the run actually spent its
+        time — the simulated critical path.  ``share`` is relative to
+        the clock watermark (can exceed 1 for multi-slot devices).
+        """
+        summary = self.span_summary()
+        ranked = sorted(summary.items(),
+                        key=lambda kv: (-kv[1]["total_s"], kv[0]))
+        if top is not None:
+            ranked = ranked[:top]
+        horizon = self.clock
+        return [{"span": name,
+                 "busy_s": stats["total_s"],
+                 "count": stats["count"],
+                 "share": (stats["total_s"] / horizon
+                           if horizon > 0 else 0.0)}
+                for name, stats in ranked]
+
+    def device_utilization(self, elapsed: Optional[float] = None
+                           ) -> dict[str, float]:
+        """Per-device busy fraction from ``device.<name>.busy_s``.
+
+        Values are clamped to [0, 1]; devices that never executed are
+        absent.  ``elapsed`` defaults to the clock watermark.
+        """
+        horizon = self.clock if elapsed is None else elapsed
+        out: dict[str, float] = {}
+        prefix, suffix = "device.", ".busy_s"
+        for key, value in sorted(self.counters.items()):
+            if key.startswith(prefix) and key.endswith(suffix):
+                name = key[len(prefix):-len(suffix)]
+                if horizon > 0:
+                    out[name] = min(1.0, value / horizon)
+                else:
+                    out[name] = 0.0
+        return out
+
+    def link_report(self) -> dict[str, dict[str, float]]:
+        """Per-link totals: ``{link: {"bytes": ..., "chunks": ...}}``."""
+        out: dict[str, dict[str, float]] = {}
+        prefix = "link."
+        for key, value in sorted(self.counters.items()):
+            if not key.startswith(prefix):
+                continue
+            rest = key[len(prefix):]
+            name, _, metric = rest.rpartition(".")
+            if metric not in ("bytes", "chunks") or not name:
+                continue
+            out.setdefault(name, {"bytes": 0.0, "chunks": 0.0})
+            out[name][metric] += value
+        return out
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Schema-versioned plain-dict form (JSON-serializable)."""
+        return {
+            "schema": TRACE_SCHEMA,
+            "clock": self.clock,
+            "counters": dict(sorted(self.counters.items())),
+            "series": {name: [[t, v] for t, v in samples]
+                       for name, samples in sorted(self.series.items())},
+            "spans": {name: [[s.start, s.end] for s in spans]
+                      for name, spans in sorted(self.spans.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Trace":
+        """Rebuild a trace from :meth:`to_dict` output."""
+        schema = data.get("schema")
+        if schema != TRACE_SCHEMA:
+            raise ValueError(
+                f"unsupported trace schema {schema!r} "
+                f"(expected {TRACE_SCHEMA!r})")
+        trace = cls()
+        trace.clock = float(data.get("clock", 0.0))
+        for name, value in data.get("counters", {}).items():
+            trace.counters[name] = value
+        for name, samples in data.get("series", {}).items():
+            trace.series[name] = [(t, v) for t, v in samples]
+        for name, spans in data.get("spans", {}).items():
+            trace.spans[name] = [Span(name, start, end, trace=trace)
+                                 for start, end in spans]
+        return trace

@@ -1,16 +1,13 @@
 """Edge cases in aggregation semantics across both engines."""
 
-import math
 
 import numpy as np
-import pytest
 
 from repro.engine import AggSpec, DataflowEngine, Query, VolcanoEngine
 from repro.engine.logical import Aggregate
 from repro.hardware import build_fabric, dataflow_spec
 from repro.relational import (
     Catalog,
-    Chunk,
     DataType,
     Field,
     Schema,

@@ -1,6 +1,5 @@
 """Tests for the cloud substrate: object store, tax, buffer pool, caches."""
 
-import numpy as np
 import pytest
 
 from repro.cloud import (
@@ -17,7 +16,6 @@ from repro.cloud import (
 from repro.engine import AggSpec, Query
 from repro.hardware import ComputationalStorage, build_fabric, dataflow_spec
 from repro.relational import (
-    Chunk,
     col,
     make_lineitem,
     make_uniform_table,

@@ -5,7 +5,6 @@ import pytest
 from repro.engine import (
     AggSpec,
     DataflowEngine,
-    Placement,
     Query,
     cpu_only,
     pushdown,

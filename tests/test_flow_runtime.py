@@ -14,7 +14,6 @@ from repro.engine.operators import (
 from repro.flow import END, CreditChannel, RateLimiter, StageGraph
 from repro.hardware import build_fabric, dataflow_spec
 from repro.relational import (
-    Chunk,
     DataType,
     Field,
     Schema,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.hardware import (
-    GIB,
     Device,
     Link,
     OpKind,

@@ -44,7 +44,7 @@ def simple_fabric():
 def test_route_shortest_path():
     fabric = simple_fabric()
     links = fabric.route("a", "c")
-    assert [l.name for l in links] == ["ab", "bc"]
+    assert [link.name for link in links] == ["ab", "bc"]
 
 
 def test_route_same_location_empty():
@@ -119,14 +119,14 @@ def test_conventional_fabric_has_only_cpu():
 def test_conventional_storage_is_local():
     fabric = build_fabric(conventional_spec())
     links = fabric.route("storage.node", "compute0.cpu")
-    segments = [l.segment for l in links]
+    segments = [link.segment for link in links]
     assert "network" not in segments
     assert segments[0] in ("pcie", "cxl")
 
 
 def test_dataflow_storage_is_remote():
     fabric = build_fabric(dataflow_spec())
-    segments = [l.segment for l in
+    segments = [link.segment for link in
                 fabric.route("storage.node", "compute0.cpu")]
     assert segments.count("network") == 2  # storage->switch->compute
 
@@ -339,15 +339,15 @@ def test_gpu_absent_by_default():
 def test_gpu_host_attachment_routes_through_dram():
     fabric = build_fabric(dataflow_spec(gpu="host"))
     assert fabric.has_site("compute0.gpu")
-    route = [l.name for l in fabric.route("compute0.node",
-                                          "compute0.gpu")]
+    route = [link.name for link in fabric.route("compute0.node",
+                                            "compute0.gpu")]
     assert route == ["compute0.host", "compute0.gpu_host"]
 
 
 def test_gpu_direct_attachment_bypasses_dram():
     fabric = build_fabric(dataflow_spec(gpu="direct"))
-    route = [l.name for l in fabric.route("compute0.node",
-                                          "compute0.gpu")]
+    route = [link.name for link in fabric.route("compute0.node",
+                                            "compute0.gpu")]
     assert route == ["compute0.gpudirect"]
 
 

@@ -18,13 +18,12 @@ from repro.relational import (
     Catalog,
     Chunk,
     DataType,
-    Field,
     Schema,
     Table,
     col,
     make_uniform_table,
 )
-from repro.sim import Simulator, Trace
+from repro.sim import Trace
 
 
 # ---------------------------------------------------------------------------
@@ -49,9 +48,15 @@ def test_trace_spans_and_busy_time():
     span2 = trace.open_span("work", 5.0)
     trace.close_span(span2, 6.0)
     assert trace.busy_time("work") == pytest.approx(3.5)
+    # Open spans measure up to the trace clock instead of raising,
+    # so a mid-run report never crashes a benchmark.
     open_span = trace.open_span("work", 7.0)
-    with pytest.raises(ValueError):
-        _ = open_span.duration
+    assert open_span.duration == 0.0
+    trace.tick(9.0)
+    assert open_span.duration == pytest.approx(2.0)
+    assert trace.busy_time("work") == pytest.approx(5.5)
+    assert trace.close_open_spans() == 1
+    assert open_span.end == pytest.approx(9.0)
 
 
 def test_trace_series_peak():

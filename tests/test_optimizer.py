@@ -4,7 +4,6 @@ import pytest
 
 from repro.engine import (
     AggSpec,
-    PlacementError,
     DataflowEngine,
     Query,
     cpu_only,

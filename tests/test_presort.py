@@ -1,7 +1,6 @@
 """Tests for sorted-run generation and merging (§3.3 pre-sorting)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

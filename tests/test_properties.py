@@ -196,8 +196,8 @@ def test_hash_join_matches_bruteforce(left, right):
     got = []
     if left:
         for emit in probe.process(int_chunk(
-                {"k": [l[0] for l in left],
-                 "a": [l[1] for l in left]})):
+                {"k": [pair[0] for pair in left],
+                 "a": [pair[1] for pair in left]})):
             got.extend(emit.chunk.to_rows())
     oracle = sorted((lk, lv, rv) for lk, lv in left
                     for rk, rv in right if lk == rk)

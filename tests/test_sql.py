@@ -141,7 +141,6 @@ def test_string_literal_equality():
 def test_quoted_string_with_escape():
     query = parse_sql(
         "SELECT l_orderkey FROM lineitem WHERE l_comment LIKE '%o''b%'")
-    from repro.engine.logical import Filter
     pred = query.plan.children[0].predicate
     assert pred.pattern == "%o'b%"
 
