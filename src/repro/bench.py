@@ -54,10 +54,19 @@ from .relational import (
 )
 
 __all__ = ["SMOKE_SCENARIOS", "run_smoke", "run_experiments",
-           "write_report", "run_cli", "main"]
+           "write_report", "compare_reports", "run_compare",
+           "run_cli", "main"]
 
 DEFAULT_ROWS = 6000
 _CHUNK = 1000
+
+DEFAULT_TOLERANCE = 0.01
+"""Relative tolerance for time/byte comparisons in ``--compare``.
+
+The simulator is bit-deterministic, so the tolerance only absorbs
+deliberate model refinements small enough to be non-regressions;
+checksums and row counts must always match exactly.
+"""
 
 
 def _make_catalog(rows: int) -> Catalog:
@@ -377,6 +386,100 @@ def run_experiments(exp_ids: list[str],
 
 
 # ---------------------------------------------------------------------------
+# Baseline comparison (the regression gate)
+# ---------------------------------------------------------------------------
+
+def _rel_close(baseline: float, fresh: float,
+               tolerance: float) -> bool:
+    if baseline == fresh:
+        return True
+    scale = max(abs(baseline), abs(fresh))
+    return abs(fresh - baseline) <= tolerance * scale
+
+
+def compare_reports(baseline: dict, fresh: list[dict],
+                    tolerance: float = DEFAULT_TOLERANCE
+                    ) -> list[str]:
+    """Diff fresh smoke records against a baseline report.
+
+    Checksums, row counts, and engine agreement must match exactly;
+    ``sim_time_s``, per-segment ``movement_bytes``, and per-link byte
+    totals must be within ``tolerance`` (relative).  Only quantities
+    present in the baseline are compared, so a v1 baseline gates a v2
+    run.  Returns a list of human-readable violations (empty = pass).
+    """
+    violations: list[str] = []
+    by_name = {rec["name"]: rec for rec in fresh}
+    for base in baseline.get("smoke", []):
+        name = base["name"]
+        rec = by_name.get(name)
+        if rec is None:
+            violations.append(f"{name}: scenario missing from fresh run")
+            continue
+        if base.get("checksum") != rec.get("checksum"):
+            violations.append(
+                f"{name}: checksum changed "
+                f"({base.get('checksum', '')[:12]}... -> "
+                f"{rec.get('checksum', '')[:12]}...)")
+        if base.get("rows") != rec.get("rows"):
+            violations.append(f"{name}: rows {base.get('rows')} -> "
+                              f"{rec.get('rows')}")
+        if base.get("agree", True) and not rec.get("agree", False):
+            violations.append(f"{name}: engines no longer agree")
+        if "sim_time_s" in base and not _rel_close(
+                base["sim_time_s"], rec.get("sim_time_s", 0.0),
+                tolerance):
+            violations.append(
+                f"{name}: sim_time_s {base['sim_time_s']:.6g} -> "
+                f"{rec.get('sim_time_s', 0.0):.6g} "
+                f"(tolerance {tolerance:.1%})")
+        for seg, nbytes in base.get("movement_bytes", {}).items():
+            got = rec.get("movement_bytes", {}).get(seg, 0.0)
+            if not _rel_close(nbytes, got, tolerance):
+                violations.append(
+                    f"{name}: movement_bytes[{seg}] {nbytes:.6g} -> "
+                    f"{got:.6g} (tolerance {tolerance:.1%})")
+        for link, entry in base.get("links", {}).items():
+            got = rec.get("links", {}).get(link, {}).get("bytes", 0.0)
+            if not _rel_close(entry.get("bytes", 0.0), got, tolerance):
+                violations.append(
+                    f"{name}: links[{link}].bytes "
+                    f"{entry.get('bytes', 0.0):.6g} -> {got:.6g} "
+                    f"(tolerance {tolerance:.1%})")
+    return violations
+
+
+def run_compare(baseline_path: str,
+                tolerance: float = DEFAULT_TOLERANCE,
+                echo: Callable[[str], None] = lambda _line: None
+                ) -> int:
+    """Re-run the baseline's scenarios and diff; 0 = pass, 1 = fail."""
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    validate_report(baseline)
+    echo(f"comparing against {baseline_path} "
+         f"(schema {baseline.get('schema')}, "
+         f"tolerance {tolerance:.1%}):")
+    fresh: list[dict] = []
+    for base in baseline.get("smoke", []):
+        name = base["name"]
+        if name not in SMOKE_SCENARIOS:
+            continue  # reported as missing by compare_reports
+        record = SMOKE_SCENARIOS[name](base.get("rows", DEFAULT_ROWS))
+        echo(f"  rerun {name:18} sim {record['sim_time_s']:.6f}s  "
+             f"checksum {record['checksum'][:12]}")
+        fresh.append(record)
+    violations = compare_reports(baseline, fresh, tolerance)
+    if violations:
+        for line in violations:
+            print(f"REGRESSION: {line}", file=sys.stderr)
+        return 1
+    echo(f"baseline comparison passed "
+         f"({len(baseline.get('smoke', []))} scenarios)")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # Report + CLI
 # ---------------------------------------------------------------------------
 
@@ -393,6 +496,11 @@ def write_report(report: dict, out_dir: str) -> str:
 
 def run_cli(args) -> int:
     echo = (lambda _line: None) if args.quiet else print
+    if getattr(args, "compare", None):
+        return run_compare(args.compare,
+                           tolerance=getattr(args, "tolerance",
+                                             DEFAULT_TOLERANCE),
+                           echo=echo)
     if args.list:
         print("smoke scenarios:")
         for name in sorted(SMOKE_SCENARIOS):
@@ -449,6 +557,13 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
                         help="base table rows for smoke scenarios")
     parser.add_argument("--bench-dir", default=None,
                         help="override the benchmarks/ directory")
+    parser.add_argument("--compare", default=None, metavar="BASELINE",
+                        help="re-run a baseline report's scenarios and "
+                             "diff (non-zero exit on regression)")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="relative tolerance for time/byte diffs "
+                             "in --compare (checksums stay exact)")
     parser.add_argument("--list", action="store_true",
                         help="list scenarios and experiments, then exit")
     parser.add_argument("--quiet", action="store_true",

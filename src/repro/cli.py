@@ -10,13 +10,23 @@ Commands
     device supports (the paper's offloading design space).
 ``query``
     Run a configurable filter/aggregate query with a chosen placement
-    policy and print per-segment movement.
+    policy and print per-segment movement.  ``--explain-stalls``
+    appends the backpressure attribution report (per-stage stall time
+    split into credit-starved / downstream-full / device-busy);
+    ``--ledger`` appends the movement ledger (bytes × link ×
+    operator × direction).
+``trace``
+    Run the demo query and export a Chrome/Perfetto ``trace_events``
+    JSON timeline (open in https://ui.perfetto.dev or
+    ``chrome://tracing``).
 ``experiments``
     List every reproduced experiment and its benchmark file.
 ``bench``
     Run the machine-readable benchmark harness: instrumented smoke
     scenarios (``--smoke``) and/or experiment scripts (``--exp``),
     emitting a schema-versioned ``BENCH_<tag>.json`` report.
+    ``--compare BENCH_x.json`` re-runs a baseline's scenarios and
+    exits non-zero on regression.
 """
 
 from __future__ import annotations
@@ -163,6 +173,72 @@ def cmd_query(args) -> int:
         print(f"  {segment.replace('.bytes', ''):10} "
               f"{value:>16,.0f} bytes")
     print(f"  {'elapsed':10} {result.elapsed:>16.6f} sim-seconds")
+    if args.explain_stalls:
+        _print_stalls(fabric.trace)
+    if args.ledger:
+        _print_ledger(fabric.trace)
+    return 0
+
+
+def _print_stalls(trace) -> None:
+    """Render the backpressure attribution report."""
+    report = trace.stall_report()
+    print("\nbackpressure attribution (stall seconds per stage):")
+    if not report:
+        print("  no stalls recorded — the pipeline never blocked")
+        return
+    header = (f"  {'stage':28} {'credit-starved':>15} "
+              f"{'downstream-full':>16} {'device-busy':>12} "
+              f"{'total':>10}")
+    print(header)
+    for stage, stats in report.items():
+        print(f"  {stage:28} {stats['credit_starved_s']:>15.6f} "
+              f"{stats['downstream_full_s']:>16.6f} "
+              f"{stats['device_busy_s']:>12.6f} "
+              f"{stats['total_s']:>10.6f}")
+
+
+def _print_ledger(trace, max_rows: int = 40) -> None:
+    """Render the movement ledger (bytes × link × actor × direction)."""
+    rows = trace.movement_ledger()
+    print("\nmovement ledger:")
+    if not rows:
+        print("  no link crossings recorded")
+        return
+    print(f"  {'link':20} {'operator':28} {'direction':30} "
+          f"{'bytes':>14} {'chunks':>7}")
+    for row in rows[:max_rows]:
+        print(f"  {row['link']:20} {row['actor']:28} "
+              f"{row['direction']:30} {row['bytes']:>14,.0f} "
+              f"{row['chunks']:>7,.0f}")
+    if len(rows) > max_rows:
+        print(f"  ... ({len(rows)} rows total)")
+
+
+def cmd_trace(args) -> int:
+    """Run the demo query and export a Chrome trace_events timeline."""
+    from .sim import export_chrome_trace
+    catalog = Catalog()
+    catalog.register("lineitem", make_lineitem(args.rows,
+                                               chunk_rows=8192))
+    query = (Query.scan("lineitem")
+             .filter(col("l_quantity") > 45)
+             .aggregate(["l_returnflag"],
+                        [AggSpec("sum", "l_extendedprice", "revenue")]))
+    fabric = build_fabric(dataflow_spec())
+    if args.engine in ("volcano", "both"):
+        VolcanoEngine(fabric, catalog).execute(query)
+    if args.engine in ("dataflow", "both"):
+        placement = Optimizer(fabric, catalog).optimize(query).placement
+        DataflowEngine(fabric, catalog).execute(query,
+                                                placement=placement)
+    fabric.trace.close_open_spans()
+    payload = export_chrome_trace(fabric.trace, args.out)
+    stats = fabric.trace.event_stats()
+    print(f"wrote {args.out}: {len(payload['traceEvents'])} trace "
+          f"events ({stats['recorded']} ring events, "
+          f"truncated={stats['truncated']})")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
     return 0
 
 
@@ -234,7 +310,24 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--spec", default="dataflow",
                        choices=["dataflow", "conventional"])
     query.add_argument("--zonemaps", action="store_true")
+    query.add_argument("--explain-stalls", action="store_true",
+                       help="print per-stage stall attribution "
+                            "(credit-starved / downstream-full / "
+                            "device-busy)")
+    query.add_argument("--ledger", action="store_true",
+                       help="print the movement ledger (bytes x link "
+                            "x operator x direction)")
     query.set_defaults(func=cmd_query)
+
+    trace = sub.add_parser(
+        "trace", help="export a Chrome/Perfetto trace of the demo "
+                      "query")
+    trace.add_argument("-o", "--out", required=True,
+                       help="output .json path (trace_events format)")
+    trace.add_argument("--rows", type=int, default=50_000)
+    trace.add_argument("--engine", default="dataflow",
+                       choices=["dataflow", "volcano", "both"])
+    trace.set_defaults(func=cmd_trace)
 
     sql = sub.add_parser(
         "sql", help="run a SQL statement over synthetic "

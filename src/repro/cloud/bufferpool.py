@@ -15,6 +15,7 @@ from typing import Generator
 
 from ..hardware.cpu import LRUCache
 from ..hardware.presets import HeterogeneousFabric
+from ..sim import EventKind
 
 __all__ = ["BufferPool"]
 
@@ -67,6 +68,10 @@ class BufferPool:
         hit = self._lru.access(key)
         if hit:
             self.fabric.trace.add("bufferpool.hits", 1)
+            self.fabric.trace.emit(
+                self.fabric.sim.now, EventKind.CACHE_HIT,
+                f"bufferpool{self.node}", label=f"{table}[{index}]",
+                nbytes=nbytes)
             return True
         # Miss: account an eviction if LRU displaced a page.
         if self._lru.evictions > evicted_before:
@@ -84,6 +89,10 @@ class BufferPool:
         self.dram.allocate(self.page_bytes)
         self.peak_bytes = max(self.peak_bytes, self._resident_bytes)
         self.fabric.trace.add("bufferpool.misses", 1)
+        self.fabric.trace.emit(
+            self.fabric.sim.now, EventKind.CACHE_MISS,
+            f"bufferpool{self.node}", label=f"{table}[{index}]",
+            nbytes=nbytes)
         self.fabric.trace.sample(f"bufferpool{self.node}.resident",
                                  self.fabric.sim.now,
                                  self._resident_bytes)

@@ -28,7 +28,7 @@ from ..engine.logical import (
     Sort,
 )
 from ..relational.table import Table
-from ..sim import Trace
+from ..sim import EventKind, Trace
 
 __all__ = ["DataCache", "ResultCache", "plan_fingerprint"]
 
@@ -56,10 +56,14 @@ class DataCache:
             self.hits += 1
             if self.trace is not None:
                 self.trace.add(f"cache.{self.name}.hits", 1)
+                self.trace.emit(self.trace.clock, EventKind.CACHE_HIT,
+                                f"cache.{self.name}", label=key)
             return True
         self.misses += 1
         if self.trace is not None:
             self.trace.add(f"cache.{self.name}.misses", 1)
+            self.trace.emit(self.trace.clock, EventKind.CACHE_MISS,
+                            f"cache.{self.name}", label=key)
         return False
 
     def insert(self, key: str, nbytes: int) -> None:
@@ -133,10 +137,14 @@ class ResultCache:
             self.hits += 1
             if self.trace is not None:
                 self.trace.add("resultcache.hits", 1)
+                self.trace.emit(self.trace.clock, EventKind.CACHE_HIT,
+                                "resultcache")
             return self._tables[key]
         self.misses += 1
         if self.trace is not None:
             self.trace.add("resultcache.misses", 1)
+            self.trace.emit(self.trace.clock, EventKind.CACHE_MISS,
+                            "resultcache")
         return None
 
     def put(self, plan: PlanNode, table: Table) -> None:

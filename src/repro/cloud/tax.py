@@ -26,7 +26,7 @@ from ..relational.formats import (
     serialize_chunk,
 )
 from ..relational.table import Chunk
-from ..sim import Trace
+from ..sim import EventKind, Trace
 
 __all__ = ["TaxConfig", "WirePayload", "EgressOp", "IngressOp",
            "xor_cipher"]
@@ -98,6 +98,11 @@ class EgressOp(PhysicalOp):
             self.trace.add("tax.egress.raw_bytes", chunk.nbytes)
             self.trace.add("tax.egress.wire_bytes", len(payload))
             self.trace.add("tax.egress.chunks", 1)
+            # Tax ops run inside a stage; the trace clock watermark is
+            # the best available timestamp (ops hold no sim handle).
+            self.trace.emit(self.trace.clock, EventKind.TAX_EGRESS,
+                            "tax.egress", label=self.name,
+                            nbytes=float(len(payload)))
         return [Emit(WirePayload(payload, chunk.num_rows, chunk.nbytes,
                                  self.config))]
 
@@ -139,6 +144,9 @@ class IngressOp(PhysicalOp):
             self.trace.add("tax.ingress.raw_bytes",
                            payload.original_nbytes)
             self.trace.add("tax.ingress.chunks", 1)
+            self.trace.emit(self.trace.clock, EventKind.TAX_INGRESS,
+                            "tax.ingress", label=self.name,
+                            nbytes=float(payload.nbytes))
         return [Emit(deserialize_chunk(raw))]
 
     def charge_bytes(self, payload) -> float:

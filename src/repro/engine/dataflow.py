@@ -23,6 +23,7 @@ from typing import Optional
 from ..hardware.presets import HeterogeneousFabric
 from ..relational.catalog import Catalog
 from ..relational.table import Table
+from ..sim import EventKind
 from ..flow.ratelimit import RateLimiter
 from ..flow.stages import FlowResult, Stage, StageGraph
 from .logical import (
@@ -319,8 +320,12 @@ class DataflowEngine:
         started = self.fabric.sim.now
         span = trace.open_span("query.dataflow", started)
         graph = self.compile(plan, placement, name=name)
+        trace.emit(started, EventKind.OP_OPEN, "query.dataflow",
+                   label=graph.name)
         flow: FlowResult = graph.run()
         trace.close_span(span, self.fabric.sim.now)
+        trace.emit(self.fabric.sim.now, EventKind.OP_CLOSE,
+                   "query.dataflow", label=graph.name)
         sinks = [s for s in graph.stages.values() if s.is_sink]
         schema = plan.output_schema(self.catalog)
         table = Table(schema)

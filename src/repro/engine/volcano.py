@@ -25,6 +25,7 @@ from ..hardware.device import Device, OpKind
 from ..hardware.presets import HeterogeneousFabric
 from ..relational.catalog import Catalog
 from ..relational.table import Chunk, Table
+from ..sim import EventKind
 from .logical import (
     Aggregate,
     Filter,
@@ -315,6 +316,7 @@ class VolcanoEngine:
         snapshot = TraceSnapshot(trace)
         started = self.fabric.sim.now
         span = trace.open_span("query.volcano", started)
+        trace.emit(started, EventKind.OP_OPEN, "query.volcano")
         self._dram_noted = 0.0
         root = self._build(plan)
         schema = plan.output_schema(self.catalog)
@@ -330,6 +332,7 @@ class VolcanoEngine:
         self.fabric.sim.run_process(driver())
         finished = self.fabric.sim.now
         trace.close_span(span, finished)
+        trace.emit(finished, EventKind.OP_CLOSE, "query.volcano")
         table = Table(schema)
         for chunk in collected:
             table.append(chunk)

@@ -21,7 +21,7 @@ from typing import Any, Generator, Optional
 
 from ..hardware.device import Device, OpKind
 from ..hardware.interconnect import Link
-from ..sim import Simulator, Store, Trace
+from ..sim import EventKind, Simulator, Store, Trace
 from .ratelimit import RateLimiter
 
 __all__ = ["END", "CreditChannel"]
@@ -44,7 +44,8 @@ class CreditChannel:
                  links: list[Link], inbox: Store, credits: int = 8,
                  control_bytes: int = 16,
                  rate_limiter: Optional[RateLimiter] = None,
-                 cpu_mediator: Optional[Device] = None):
+                 cpu_mediator: Optional[Device] = None,
+                 actor: str = "", direction: str = ""):
         if credits < 1:
             raise ValueError("credit window must be >= 1")
         self.sim = sim
@@ -56,6 +57,11 @@ class CreditChannel:
         self.control_bytes = control_bytes
         self.rate_limiter = rate_limiter
         self.cpu_mediator = cpu_mediator
+        # Movement-ledger attribution: the operator (sending stage)
+        # responsible for this channel's bytes, and the direction the
+        # bytes travel (``src_location->dst_location``).
+        self.actor = actor or name
+        self.direction = direction
         self._tokens = Store(sim, capacity=credits,
                              name=f"{name}.credits")
         for _ in range(credits):
@@ -77,10 +83,22 @@ class CreditChannel:
         one, which is why a window larger than the bandwidth-delay
         product is needed to keep a long pipe full (bench C3).
         """
+        credit_wait_from = self.sim.now
         yield self._tokens.get()
+        if self.sim.now > credit_wait_from:
+            # The sender blocked on the credit window: the receiver's
+            # queue was full.  This is the "credit-starved" bucket of
+            # the backpressure attribution report.
+            stall = self.sim.now - credit_wait_from
+            self.trace.add(f"flow.{self.name}.stall.credit_s", stall)
+            self.trace.emit(credit_wait_from, EventKind.CREDIT_STALL,
+                            self.name, nbytes=nbytes, dur=stall)
         self.in_flight_or_queued += 1
         self.max_outstanding = max(self.max_outstanding,
                                    self.in_flight_or_queued)
+        wire_from = self.sim.now
+        serialization = sum(nbytes / link.bandwidth
+                            for link in self.links)
         if self.rate_limiter is not None and nbytes > 0:
             yield from self.rate_limiter.acquire(nbytes)
         propagation = 0.0
@@ -96,17 +114,35 @@ class CreditChannel:
             self.trace.add(f"link.{link.name}.chunks", 1)
             self.trace.add(f"movement.{link.segment}.bytes", nbytes)
             self.trace.add(f"flow.{self.name}.bytes", nbytes)
+            self.trace.record_movement(link.name, self.actor,
+                                       self.direction, nbytes)
             if self.cpu_mediator is not None and nbytes > 0:
                 # CPU-mediated copy at every hop (ablation A2): the
                 # host core touches the data instead of a DMA engine.
                 yield from self.cpu_mediator.execute(OpKind.GENERIC, nbytes)
-        self.sim.process(self._deliver(payload, propagation),
+        wire_overhead = (self.sim.now - wire_from) - serialization
+        if wire_overhead > 1e-12:
+            # Time beyond uncontended serialization: queuing behind
+            # other traffic on the route (rate limiter, port
+            # contention, CPU mediation) — the "downstream-full"
+            # bucket.
+            self.trace.add(f"flow.{self.name}.stall.link_s",
+                           wire_overhead)
+        flow_id = self.trace.next_flow_id()
+        self.trace.emit(self.sim.now, EventKind.CHUNK_EMIT, self.name,
+                        label="end" if payload is END else "",
+                        nbytes=nbytes, flow_id=flow_id)
+        self.sim.process(self._deliver(payload, propagation, flow_id),
                          name=f"{self.name}.wire")
         self.trace.add(f"flow.{self.name}.messages", 1)
 
-    def _deliver(self, payload: Any, propagation: float) -> Generator:
+    def _deliver(self, payload: Any, propagation: float,
+                 flow_id: int = 0) -> Generator:
         yield self.sim.timeout(propagation)
         yield self.inbox.put((self, payload))
+        self.trace.emit(self.sim.now, EventKind.CHUNK_RECV, self.name,
+                        label="end" if payload is END else "",
+                        flow_id=flow_id)
 
     def send_end(self) -> Generator:
         """Close this producer's stream (consumes a credit like data)."""
@@ -129,6 +165,8 @@ class CreditChannel:
             yield self.sim.timeout(0.0)
         self.in_flight_or_queued -= 1
         yield self._tokens.put(True)
+        self.trace.emit(self.sim.now, EventKind.CREDIT_GRANT, self.name,
+                        nbytes=self.control_bytes)
         self.trace.add(f"flow.{self.name}.control_bytes",
                        self.control_bytes)
         self.trace.add("flow.control.total_bytes", self.control_bytes)

@@ -26,7 +26,7 @@ from ..engine.operators import Emit, PhysicalOp
 from ..hardware.device import Device
 from ..hardware.storage import StorageMedium
 from ..relational.table import Chunk, Table
-from ..sim import Event, Simulator, Store, Trace
+from ..sim import Event, EventKind, Simulator, Store, Trace
 from .credits import END, CreditChannel
 from .ratelimit import RateLimiter
 
@@ -76,6 +76,8 @@ class Stage:
         """The stage's simulation process."""
         for evt in self.depends_on:
             yield evt
+        self.graph.trace.emit(self.graph.sim.now, EventKind.OP_OPEN,
+                              self._metric, label=self.location)
         if self.device is not None and self.device.programmable:
             yield from self._install_kernels()
         if self.source_table is not None:
@@ -87,6 +89,8 @@ class Stage:
             yield from out.send_end()
         self.done_at = self.graph.sim.now
         trace = self.graph.trace
+        trace.emit(self.done_at, EventKind.OP_CLOSE, self._metric,
+                   label=self.location)
         trace.add(f"{self._metric}.rows_in", self.rows_in)
         trace.add(f"{self._metric}.rows_out", self.rows_out)
         trace.add(f"{self._metric}.chunks_in", self.chunks_in)
@@ -153,6 +157,22 @@ class Stage:
             trace.close_span(span, self.graph.sim.now)
         yield from self._route(emits)
 
+    def _charge(self, kind: str, nbytes: float) -> Generator:
+        """Charge the stage device, attributing slot-wait as a stall.
+
+        The difference between the measured execute time and the
+        device's uncontended :meth:`~repro.hardware.device.Device.
+        service_time` is time spent queued behind other work on the
+        device — the "device-busy" bucket of the backpressure report.
+        """
+        before = self.graph.sim.now
+        yield from self.device.execute(kind, nbytes)
+        stall = ((self.graph.sim.now - before)
+                 - self.device.service_time(kind, nbytes))
+        if stall > 1e-12:
+            self.graph.trace.add(f"{self._metric}.stall.device_s",
+                                 stall)
+
     def _apply(self, chunk: Chunk, start: int) -> Generator:
         """Run ``chunk`` through ops[start:]; returns resulting emits."""
         emits = [Emit(chunk)]
@@ -160,10 +180,10 @@ class Stage:
             produced: list[Emit] = []
             for emit in emits:
                 if self.device is not None:
-                    yield from self.device.execute(
+                    yield from self._charge(
                         op.kind, op.charge_bytes(emit.chunk))
                     for kind, nbytes in op.extra_charges(emit.chunk):
-                        yield from self.device.execute(kind, nbytes)
+                        yield from self._charge(kind, nbytes)
                 produced.extend(op.process(emit.chunk))
             emits = produced
             if not emits:
@@ -175,7 +195,7 @@ class Stage:
         for index, op in enumerate(self.ops):
             for emit in op.finish():
                 if self.device is not None:
-                    yield from self.device.execute(
+                    yield from self._charge(
                         op.kind, emit.chunk.nbytes)
                 downstream = yield from self._apply_tail(
                     emit, start=index + 1)
@@ -327,7 +347,9 @@ class StageGraph:
             links=links, inbox=dst.inbox,
             credits=credits if credits is not None else
             self.default_credits,
-            rate_limiter=rate_limiter, cpu_mediator=cpu_mediator)
+            rate_limiter=rate_limiter, cpu_mediator=cpu_mediator,
+            actor=f"{self.name}.{src.name}",
+            direction=f"{src.location}->{dst.location}")
         src.outputs.append(channel)
         dst.inputs.append(channel)
         self.channels.append(channel)

@@ -146,7 +146,13 @@ class Device:
         inside a process, or wrap with ``sim.process``.
         """
         duration = self.service_time(kind, nbytes)
+        requested = self.sim.now
         yield self._units.request()
+        if self.sim.now > requested:
+            # Cumulative slot-queueing time: the raw material of the
+            # backpressure report's "device-busy" bucket.
+            self.trace.add(f"device.{self.name}.slot_wait_s",
+                           self.sim.now - requested)
         span = self.trace.open_span(f"device.{self.name}", self.sim.now)
         try:
             yield self.sim.timeout(duration)

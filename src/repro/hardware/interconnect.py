@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator, Optional
 
-from ..sim import Resource, Simulator, Trace
+from ..sim import EventKind, Resource, Simulator, Trace
 from .device import GIB, Device
 
 __all__ = [
@@ -74,17 +74,31 @@ class Link:
         """Predicted uncontended time for a transfer of ``nbytes``."""
         return self.latency + nbytes / self.bandwidth
 
-    def transfer(self, nbytes: float, flow: str = "") -> Generator:
-        """Move ``nbytes`` across the link (a simulation sub-process)."""
+    def transfer(self, nbytes: float, flow: str = "",
+                 direction: str = "") -> Generator:
+        """Move ``nbytes`` across the link (a simulation sub-process).
+
+        ``flow`` attributes the bytes to an operator/flow in the
+        movement ledger; ``direction`` records which way they went
+        (``src->dst`` location pair).
+        """
+        issued = self.sim.now
+        self.trace.emit(issued, EventKind.DMA_ISSUE, self.name,
+                        label=flow, nbytes=nbytes)
         yield self._ports.request()
         try:
             yield self.sim.timeout(self.transfer_time(nbytes))
         finally:
             self._ports.release()
         self.trace.tick(self.sim.now)
+        self.trace.emit(issued, EventKind.DMA_COMPLETE, self.name,
+                        label=flow, nbytes=nbytes,
+                        dur=self.sim.now - issued)
         self.trace.add(f"link.{self.name}.bytes", nbytes)
         self.trace.add(f"link.{self.name}.chunks", 1)
         self.trace.add(f"movement.{self.segment}.bytes", nbytes)
+        self.trace.record_movement(self.name, flow or "unattributed",
+                                   direction, nbytes)
         if flow:
             self.trace.add(f"flow.{flow}.bytes", nbytes)
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..sim import Simulator, Trace
+from ..sim import EventKind, Simulator, Trace
 from .device import GIB, Device, OpKind
 from .nic import NIC, SmartNIC
 
@@ -65,6 +65,8 @@ class DRAM:
                 f"DRAM {self.name}: {nbytes} requested, "
                 f"{self.capacity - self.used} free")
         self.used += nbytes
+        self.trace.emit(self.sim.now, EventKind.MEM_ALLOC,
+                        f"dram.{self.name}", nbytes=nbytes)
         self.trace.add(f"dram.{self.name}.allocs", 1)
         self.trace.add(f"dram.{self.name}.allocated", nbytes)
         self.trace.sample(f"dram.{self.name}.used", self.sim.now, self.used)
@@ -74,6 +76,8 @@ class DRAM:
         if nbytes > self.used:
             raise MemoryError(f"DRAM {self.name}: freeing more than used")
         self.used -= nbytes
+        self.trace.emit(self.sim.now, EventKind.MEM_FREE,
+                        f"dram.{self.name}", nbytes=nbytes)
         self.trace.add(f"dram.{self.name}.frees", 1)
         self.trace.sample(f"dram.{self.name}.used", self.sim.now, self.used)
 

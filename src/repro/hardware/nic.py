@@ -12,9 +12,9 @@ protocols and run join stages.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Generator, Optional
 
-from ..sim import Resource, Simulator, Trace
+from ..sim import EventKind, Resource, Simulator, Trace
 from .device import GIB, Device, OpKind
 
 __all__ = ["NIC", "SmartNIC", "DPU", "smartnic_rates", "dpu_rates"]
@@ -76,6 +76,29 @@ class NIC:
     @property
     def is_smart(self) -> bool:
         return self.processor is not None
+
+    def dma_transfer(self, nbytes: float, label: str = "") -> Generator:
+        """Occupy one DMA engine for ``nbytes`` at line rate.
+
+        The NIC's DMA engines are the §4.1 data movers: a transfer
+        holds one engine for ``nbytes / line_rate`` seconds, so
+        concurrent flows queue once all engines are busy.  Emits
+        ``dma_issue`` / ``dma_complete`` events and byte counters.
+        """
+        issued = self.sim.now
+        self.trace.emit(issued, EventKind.DMA_ISSUE,
+                        f"nic.{self.name}", label=label, nbytes=nbytes)
+        yield self.dma.request()
+        try:
+            yield self.sim.timeout(nbytes / self.line_rate)
+        finally:
+            self.dma.release()
+        self.trace.tick(self.sim.now)
+        self.trace.emit(issued, EventKind.DMA_COMPLETE,
+                        f"nic.{self.name}", label=label, nbytes=nbytes,
+                        dur=self.sim.now - issued)
+        self.trace.add(f"nic.{self.name}.dma_transfers", 1)
+        self.trace.add(f"nic.{self.name}.dma_bytes", nbytes)
 
     def supports(self, kind: str) -> bool:
         """Whether the on-NIC processor (if any) can host ``kind``."""

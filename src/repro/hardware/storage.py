@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
-from ..sim import Resource, Simulator, Trace
+from ..sim import EventKind, Resource, Simulator, Trace
 from .device import GIB, Device, OpKind
 
 __all__ = ["StorageMedium", "ComputationalStorage", "storage_cu_rates"]
@@ -92,18 +92,29 @@ class StorageMedium:
 
     def read(self, nbytes: float) -> Generator:
         """Read ``nbytes`` off the medium (simulation process)."""
+        issued = self.sim.now
+        self.trace.emit(issued, EventKind.DMA_ISSUE,
+                        f"storage.{self.name}", label="read",
+                        nbytes=nbytes)
         yield self._channel.request()
         try:
             yield self.sim.timeout(self.read_time(nbytes))
         finally:
             self._channel.release()
         self.trace.tick(self.sim.now)
+        self.trace.emit(issued, EventKind.DMA_COMPLETE,
+                        f"storage.{self.name}", label="read",
+                        nbytes=nbytes, dur=self.sim.now - issued)
         self.trace.add(f"storage.{self.name}.reads", 1)
         self.trace.add(f"storage.{self.name}.bytes.read", nbytes)
         self.trace.add("movement.storage.bytes", nbytes)
 
     def write(self, nbytes: float) -> Generator:
         """Write ``nbytes`` to the medium (simulation process)."""
+        issued = self.sim.now
+        self.trace.emit(issued, EventKind.DMA_ISSUE,
+                        f"storage.{self.name}", label="write",
+                        nbytes=nbytes)
         yield self._channel.request()
         try:
             yield self.sim.timeout(
@@ -111,6 +122,9 @@ class StorageMedium:
         finally:
             self._channel.release()
         self.trace.tick(self.sim.now)
+        self.trace.emit(issued, EventKind.DMA_COMPLETE,
+                        f"storage.{self.name}", label="write",
+                        nbytes=nbytes, dur=self.sim.now - issued)
         self.trace.add(f"storage.{self.name}.writes", 1)
         self.trace.add(f"storage.{self.name}.bytes.write", nbytes)
         self.trace.add("movement.storage.bytes", nbytes)

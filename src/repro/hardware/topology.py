@@ -134,8 +134,10 @@ class Fabric:
         The transfer crosses each link on the route in sequence
         (store-and-forward at the granularity the caller chunks at).
         """
+        direction = f"{src}->{dst}"
         for link in self.route(src, dst):
-            yield from link.transfer(nbytes, flow=flow)
+            yield from link.transfer(nbytes, flow=flow,
+                                     direction=direction)
 
     # -- reporting -----------------------------------------------------------
 

@@ -24,6 +24,7 @@ from typing import Optional
 
 __all__ = [
     "REPORT_SCHEMA",
+    "ACCEPTED_REPORT_SCHEMAS",
     "CHECKSUM_FLOAT_DIGITS",
     "table_checksum",
     "fabric_snapshot",
@@ -31,8 +32,16 @@ __all__ = [
     "validate_report",
 ]
 
-REPORT_SCHEMA = "repro.bench/v1"
-"""Schema identifier embedded in benchmark reports."""
+REPORT_SCHEMA = "repro.bench/v2"
+"""Schema identifier embedded in benchmark reports.
+
+v2 adds per-scenario event-ring stats (``events`` /
+``events_truncated``), the backpressure ``stalls`` report, and the
+movement ``ledger`` to every smoke record.
+"""
+
+ACCEPTED_REPORT_SCHEMAS = ("repro.bench/v1", REPORT_SCHEMA)
+"""Schemas :func:`validate_report` accepts (v1 lacks event stats)."""
 
 CHECKSUM_FLOAT_DIGITS = 6
 """Significant digits floats are rounded to before hashing.
@@ -97,6 +106,7 @@ def fabric_snapshot(fabric, elapsed: Optional[float] = None,
     utilization = {
         key: min(1.0, max(0.0, value))
         for key, value in fabric.utilization_report(horizon).items()}
+    events = fabric.trace.event_stats()
     return {
         "sim_time_s": horizon,
         "movement_bytes": fabric.movement_report(),
@@ -104,6 +114,10 @@ def fabric_snapshot(fabric, elapsed: Optional[float] = None,
         "utilization": utilization,
         "critical_path": fabric.trace.critical_path(
             top=critical_path_top),
+        "stalls": fabric.trace.stall_report(),
+        "ledger": fabric.trace.movement_ledger(),
+        "events": events,
+        "events_truncated": events["truncated"],
     }
 
 
@@ -135,6 +149,10 @@ _SMOKE_REQUIRED = ("name", "wall_time_s", "sim_time_s", "rows",
                    "movement_bytes", "links", "utilization",
                    "checksum", "agree")
 
+_SMOKE_REQUIRED_V2 = _SMOKE_REQUIRED + ("events", "events_truncated")
+
+_EVENT_STAT_KEYS = ("recorded", "capacity", "dropped", "truncated")
+
 
 def _is_hex_digest(value) -> bool:
     return (isinstance(value, str) and len(value) == 64
@@ -142,24 +160,40 @@ def _is_hex_digest(value) -> bool:
 
 
 def validate_report(report: dict) -> bool:
-    """Check a benchmark report against the v1 schema.
+    """Check a benchmark report against the v1 or v2 schema.
 
-    Raises :class:`ValueError` with every violation found; returns
-    True when the report is valid.  Deliberately dependency-free (no
-    jsonschema in the image).
+    v1 reports (pre event-tracing) remain valid so historical
+    baselines like ``BENCH_seed.json`` still load; v2 additionally
+    requires per-scenario event-ring stats.  Raises
+    :class:`ValueError` with every violation found; returns True when
+    the report is valid.  Deliberately dependency-free (no jsonschema
+    in the image).
     """
     errors: list[str] = []
-    if report.get("schema") != REPORT_SCHEMA:
-        errors.append(f"schema is {report.get('schema')!r}, "
-                      f"expected {REPORT_SCHEMA!r}")
+    schema = report.get("schema")
+    if schema not in ACCEPTED_REPORT_SCHEMAS:
+        errors.append(f"schema is {schema!r}, expected one of "
+                      f"{ACCEPTED_REPORT_SCHEMAS!r}")
+    required = (_SMOKE_REQUIRED_V2 if schema == REPORT_SCHEMA
+                else _SMOKE_REQUIRED)
     for key in ("tag", "smoke", "experiments", "totals"):
         if key not in report:
             errors.append(f"missing top-level key {key!r}")
     for record in report.get("smoke", []):
         name = record.get("name", "<unnamed>")
-        for key in _SMOKE_REQUIRED:
+        for key in required:
             if key not in record:
                 errors.append(f"smoke[{name}]: missing {key!r}")
+        if schema == REPORT_SCHEMA:
+            events = record.get("events", {})
+            for key in _EVENT_STAT_KEYS:
+                if key not in events:
+                    errors.append(
+                        f"smoke[{name}]: events missing {key!r}")
+            if not isinstance(record.get("events_truncated", False),
+                              bool):
+                errors.append(f"smoke[{name}]: events_truncated "
+                              "is not a bool")
         if not _is_hex_digest(record.get("checksum", "")):
             errors.append(f"smoke[{name}]: checksum is not a "
                           "sha256 hex digest")

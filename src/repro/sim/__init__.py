@@ -15,6 +15,8 @@ from .kernel import (
     Simulator,
     Timeout,
 )
+from .chrometrace import chrome_trace, export_chrome_trace
+from .events import EventKind, EventRing, TraceEvent
 from .resources import Gate, Resource, Store
 from .trace import Span, Trace
 
@@ -22,6 +24,8 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Event",
+    "EventKind",
+    "EventRing",
     "Gate",
     "Interrupt",
     "Process",
@@ -32,4 +36,7 @@ __all__ = [
     "Store",
     "Timeout",
     "Trace",
+    "TraceEvent",
+    "chrome_trace",
+    "export_chrome_trace",
 ]

@@ -9,7 +9,16 @@ kinds of records:
   chunks per channel, cache hits, dollars billed);
 * **series** — (time, value) samples (queue occupancy over time);
 * **spans** — named intervals (per-stage busy periods), from which
-  utilization and critical-path summaries are derived.
+  utilization and critical-path summaries are derived;
+* **events** — a bounded ring of typed :class:`~repro.sim.events.
+  TraceEvent`s (chunk emit/recv, credit grant/stall, DMA
+  issue/complete, cache hit/miss, operator open/close), the
+  per-occurrence flight recorder the Chrome-trace exporter and stall
+  narratives read;
+* **ledger** — an exact running table of bytes × link × operator ×
+  direction (:meth:`Trace.record_movement` /
+  :meth:`Trace.movement_ledger`), kept separately from the ring so
+  that ring truncation can never lose movement attribution.
 
 A single :class:`Trace` is threaded through a fabric.  On top of the
 raw records it derives the quantities reports need: per-span busy
@@ -37,10 +46,15 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .events import EventRing, TraceEvent
+
 __all__ = ["Trace", "Span", "TRACE_SCHEMA"]
 
-TRACE_SCHEMA = "repro.trace/v1"
+TRACE_SCHEMA = "repro.trace/v2"
 """Schema identifier embedded in serialized traces."""
+
+_ACCEPTED_SCHEMAS = ("repro.trace/v1", TRACE_SCHEMA)
+"""Schemas :meth:`Trace.from_dict` accepts (v1 lacked events/ledger)."""
 
 
 @dataclass
@@ -81,13 +95,50 @@ class Trace:
         default_factory=lambda: defaultdict(list))
     spans: dict[str, list[Span]] = field(
         default_factory=lambda: defaultdict(list))
+    events: EventRing = field(default_factory=EventRing)
+    ledger: dict[tuple[str, str, str], list[float]] = field(
+        default_factory=dict)
     clock: float = 0.0
+    _flow_seq: int = field(default=0, repr=False)
 
     # -- recording -------------------------------------------------------
 
     def add(self, counter: str, amount: float = 1.0) -> None:
         """Increment a counter."""
         self.counters[counter] += amount
+
+    def emit(self, ts: float, kind: str, actor: str, label: str = "",
+             nbytes: float = 0.0, dur: float = 0.0,
+             flow_id: int = 0) -> TraceEvent:
+        """Record a typed event into the bounded ring.
+
+        ``ts`` is the event instant (window *start* when ``dur`` is
+        nonzero); the clock watermark advances to cover the whole
+        window so mid-run reports see it.
+        """
+        self.tick(ts + dur if dur > 0 else ts)
+        event = TraceEvent(ts=ts, kind=kind, actor=actor, label=label,
+                           nbytes=nbytes, dur=dur, flow_id=flow_id)
+        self.events.append(event)
+        return event
+
+    def next_flow_id(self) -> int:
+        """A fresh id tying a chunk_emit to its chunk_recv."""
+        self._flow_seq += 1
+        return self._flow_seq
+
+    def record_movement(self, link: str, actor: str, direction: str,
+                        nbytes: float, chunks: float = 1.0) -> None:
+        """Attribute ``nbytes`` on ``link`` to ``actor``.
+
+        The ledger is an exact aggregate (unlike the event ring it is
+        never truncated); its per-link byte totals reconcile with
+        :meth:`link_report`.
+        """
+        cell = self.ledger.setdefault((link, actor, direction),
+                                      [0.0, 0.0])
+        cell[0] += nbytes
+        cell[1] += chunks
 
     def tick(self, time: float) -> None:
         """Advance the clock watermark (never moves backwards)."""
@@ -166,13 +217,35 @@ class Trace:
         return max(v for _t, v in samples)
 
     def merge(self, other: "Trace") -> None:
-        """Fold another trace's records into this one."""
+        """Fold another trace's records into this one, losslessly.
+
+        Counters add, series and span lists concatenate, ledger cells
+        add, and the two event rings interleave in timestamp order.
+        The merged ring's capacity grows to hold every event both
+        sides currently retain, so a merge itself never drops events
+        (``dropped`` carries over what each side had already lost
+        before the merge).
+        """
         for key, value in other.counters.items():
             self.counters[key] += value
         for key, samples in other.series.items():
             self.series[key].extend(samples)
         for key, spans in other.spans.items():
             self.spans[key].extend(spans)
+        for key, (nbytes, chunks) in other.ledger.items():
+            cell = self.ledger.setdefault(key, [0.0, 0.0])
+            cell[0] += nbytes
+            cell[1] += chunks
+        combined = sorted(list(self.events) + list(other.events),
+                          key=lambda e: e.ts)
+        capacity = max(self.events.capacity, other.events.capacity,
+                       len(combined) or 1)
+        dropped = self.events.dropped + other.events.dropped
+        merged = EventRing(capacity)
+        merged.extend(iter(combined))
+        merged.dropped = dropped
+        self.events = merged
+        self._flow_seq = max(self._flow_seq, other._flow_seq)
         self.tick(other.clock)
 
     def report(self, prefix: str = "") -> dict[str, float]:
@@ -239,6 +312,76 @@ class Trace:
                     out[name] = 0.0
         return out
 
+    def movement_ledger(self) -> list[dict]:
+        """The movement ledger: bytes × link × actor × direction.
+
+        One row per (link, actor, direction) cell, sorted by link
+        then actor then direction — every plan's movement cost,
+        attributable line by line (the paper's §3.3 cost metric).
+        Per-link byte sums reconcile with :meth:`link_report`.
+        """
+        return [{"link": link, "actor": actor, "direction": direction,
+                 "bytes": cell[0], "chunks": cell[1]}
+                for (link, actor, direction), cell
+                in sorted(self.ledger.items())]
+
+    def ledger_link_totals(self) -> dict[str, float]:
+        """Total ledger bytes per link (for link_report reconciliation)."""
+        out: dict[str, float] = {}
+        for (link, _actor, _direction), cell in self.ledger.items():
+            out[link] = out.get(link, 0.0) + cell[0]
+        return dict(sorted(out.items()))
+
+    def stall_report(self) -> dict[str, dict[str, float]]:
+        """Per-stage stall seconds split by cause.
+
+        Reads the stall counters the flow runtime maintains:
+
+        * ``flow.<graph>.<src>-><dst>.stall.credit_s`` — the sender
+          waited for a flow-control credit (**credit_starved**);
+        * ``flow.<graph>.<src>-><dst>.stall.link_s`` — the sender
+          queued behind other traffic on the route
+          (**downstream_full**);
+        * ``stage.<graph>.<stage>.stall.device_s`` — an operator
+          waited for a busy device slot (**device_busy**).
+
+        Channel stalls are charged to the *sending* stage.  Returns
+        ``{stage: {credit_starved_s, downstream_full_s,
+        device_busy_s, total_s}}`` sorted by stage name.
+        """
+        out: dict[str, dict[str, float]] = {}
+
+        def cell(stage: str) -> dict[str, float]:
+            return out.setdefault(stage, {"credit_starved_s": 0.0,
+                                          "downstream_full_s": 0.0,
+                                          "device_busy_s": 0.0})
+
+        for key, value in self.counters.items():
+            if key.startswith("flow.") and "->" in key:
+                if key.endswith(".stall.credit_s"):
+                    bucket = "credit_starved_s"
+                    chan = key[len("flow."):-len(".stall.credit_s")]
+                elif key.endswith(".stall.link_s"):
+                    bucket = "downstream_full_s"
+                    chan = key[len("flow."):-len(".stall.link_s")]
+                else:
+                    continue
+                sender = chan.split("->", 1)[0]
+                cell(sender)[bucket] += value
+            elif (key.startswith("stage.")
+                    and key.endswith(".stall.device_s")):
+                stage = key[len("stage."):-len(".stall.device_s")]
+                cell(stage)["device_busy_s"] += value
+        for stats in out.values():
+            stats["total_s"] = (stats["credit_starved_s"]
+                                + stats["downstream_full_s"]
+                                + stats["device_busy_s"])
+        return dict(sorted(out.items()))
+
+    def event_stats(self) -> dict:
+        """Ring occupancy summary (recorded/capacity/dropped/truncated)."""
+        return self.events.stats()
+
     def link_report(self) -> dict[str, dict[str, float]]:
         """Per-link totals: ``{link: {"bytes": ..., "chunks": ...}}``."""
         out: dict[str, dict[str, float]] = {}
@@ -266,16 +409,26 @@ class Trace:
                        for name, samples in sorted(self.series.items())},
             "spans": {name: [[s.start, s.end] for s in spans]
                       for name, spans in sorted(self.spans.items())},
+            "events": {"capacity": self.events.capacity,
+                       "dropped": self.events.dropped,
+                       "items": [e.to_dict() for e in self.events]},
+            "ledger": [[link, actor, direction, cell[0], cell[1]]
+                       for (link, actor, direction), cell
+                       in sorted(self.ledger.items())],
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "Trace":
-        """Rebuild a trace from :meth:`to_dict` output."""
+        """Rebuild a trace from :meth:`to_dict` output.
+
+        Accepts both the current schema and ``repro.trace/v1`` (which
+        predates events and the ledger — those come back empty).
+        """
         schema = data.get("schema")
-        if schema != TRACE_SCHEMA:
+        if schema not in _ACCEPTED_SCHEMAS:
             raise ValueError(
                 f"unsupported trace schema {schema!r} "
-                f"(expected {TRACE_SCHEMA!r})")
+                f"(expected one of {_ACCEPTED_SCHEMAS!r})")
         trace = cls()
         trace.clock = float(data.get("clock", 0.0))
         for name, value in data.get("counters", {}).items():
@@ -285,4 +438,15 @@ class Trace:
         for name, spans in data.get("spans", {}).items():
             trace.spans[name] = [Span(name, start, end, trace=trace)
                                  for start, end in spans]
+        events = data.get("events")
+        if events:
+            trace.events = EventRing(
+                int(events.get("capacity", 1)) or 1)
+            for item in events.get("items", []):
+                trace.events.append(TraceEvent.from_dict(item))
+            trace.events.dropped = int(events.get("dropped", 0))
+        for link, actor, direction, nbytes, chunks in data.get(
+                "ledger", []):
+            trace.ledger[(link, actor, direction)] = [float(nbytes),
+                                                      float(chunks)]
         return trace

@@ -1,0 +1,126 @@
+"""The bench regression gate: --compare against a baseline report."""
+
+import copy
+import json
+
+import pytest
+
+from repro import bench
+from repro.cli import main as cli_main
+from repro.obs import make_report, validate_report
+
+ROWS = 2500
+
+
+@pytest.fixture(scope="module")
+def record():
+    return bench.run_smoke(rows=ROWS, only=["filter_project"])[0]
+
+
+def baseline_for(record):
+    return make_report("base", [copy.deepcopy(record)],
+                       created="2026-08-06")
+
+
+def test_compare_identical_records_passes(record):
+    assert bench.compare_reports(baseline_for(record), [record]) == []
+
+
+def test_compare_flags_checksum_and_rows_exactly(record):
+    baseline = baseline_for(record)
+    baseline["smoke"][0]["checksum"] = "0" * 64
+    violations = bench.compare_reports(baseline, [record])
+    assert any("checksum" in v for v in violations)
+
+    baseline = baseline_for(record)
+    baseline["smoke"][0]["rows"] = record["rows"] + 1
+    assert bench.compare_reports(baseline, [record])
+
+
+def test_compare_tolerance_on_sim_time(record):
+    baseline = baseline_for(record)
+    # 0.5% drift: inside the default 1% tolerance.
+    baseline["smoke"][0]["sim_time_s"] = record["sim_time_s"] * 1.005
+    assert bench.compare_reports(baseline, [record]) == []
+    # 5% drift: a regression at the default tolerance...
+    baseline["smoke"][0]["sim_time_s"] = record["sim_time_s"] * 1.05
+    violations = bench.compare_reports(baseline, [record])
+    assert any("sim_time_s" in v for v in violations)
+    # ...but acceptable when the caller widens the window.
+    assert bench.compare_reports(baseline, [record],
+                                 tolerance=0.10) == []
+
+
+def test_compare_flags_link_bytes_and_missing_scenarios(record):
+    baseline = baseline_for(record)
+    link = next(iter(baseline["smoke"][0]["links"]))
+    baseline["smoke"][0]["links"][link]["bytes"] *= 2.0
+    violations = bench.compare_reports(baseline, [record])
+    assert any(link in v for v in violations)
+
+    baseline = baseline_for(record)
+    baseline["smoke"][0]["name"] = "filter_project"
+    assert any("missing" in v.lower()
+               for v in bench.compare_reports(baseline, []))
+
+
+def test_run_compare_passes_then_catches_regression(record, tmp_path):
+    """End to end: a doctored baseline flips the exit code."""
+    path = tmp_path / "BENCH_base.json"
+    path.write_text(json.dumps(baseline_for(record)))
+    assert bench.run_compare(str(path)) == 0
+
+    doctored = baseline_for(record)
+    doctored["smoke"][0]["sim_time_s"] *= 1.5
+    path.write_text(json.dumps(doctored))
+    assert bench.run_compare(str(path)) == 1
+
+
+def test_cli_compare_exit_codes(record, tmp_path, capsys):
+    path = tmp_path / "BENCH_base.json"
+    path.write_text(json.dumps(baseline_for(record)))
+    assert cli_main(["bench", "--compare", str(path)]) == 0
+    capsys.readouterr()
+
+    doctored = baseline_for(record)
+    doctored["smoke"][0]["checksum"] = "f" * 64
+    path.write_text(json.dumps(doctored))
+    assert cli_main(["bench", "--compare", str(path)]) == 1
+    assert "REGRESSION" in capsys.readouterr().err
+
+
+def test_v1_baseline_gates_v2_run(record):
+    """The checked-in seed predates event tracing but still compares."""
+    baseline = baseline_for(record)
+    baseline["schema"] = "repro.bench/v1"
+    for rec in baseline["smoke"]:
+        for key in ("events", "events_truncated", "stalls", "ledger"):
+            rec.pop(key, None)
+    assert validate_report(baseline) is True
+    assert bench.compare_reports(baseline, [record]) == []
+
+
+def test_seed_baseline_is_still_valid():
+    import os
+    path = os.path.join(os.path.dirname(__file__), "..",
+                        "benchmarks", "BENCH_seed.json")
+    with open(path) as handle:
+        seed = json.load(handle)
+    assert seed["schema"] == "repro.bench/v1"
+    assert validate_report(seed) is True
+
+
+def test_v2_schema_requires_event_stats(record):
+    report = make_report("unit", [copy.deepcopy(record)])
+    assert report["schema"] == "repro.bench/v2"
+    assert validate_report(report) is True
+
+    broken = copy.deepcopy(report)
+    del broken["smoke"][0]["events"]["truncated"]
+    with pytest.raises(ValueError, match="events"):
+        validate_report(broken)
+
+    broken = copy.deepcopy(report)
+    broken["smoke"][0]["events_truncated"] = "no"
+    with pytest.raises(ValueError, match="events_truncated"):
+        validate_report(broken)

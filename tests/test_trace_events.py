@@ -1,0 +1,323 @@
+"""The typed event layer: ring buffer, emit, merge, Chrome export."""
+
+import json
+
+import pytest
+
+from repro.flow.credits import CreditChannel
+from repro.hardware.device import Device, OpKind
+from repro.hardware.interconnect import Link
+from repro.hardware.nic import NIC
+from repro.sim import (
+    EventKind,
+    EventRing,
+    Resource,
+    Simulator,
+    Store,
+    Trace,
+    TraceEvent,
+    chrome_trace,
+    export_chrome_trace,
+)
+from repro.sim.trace import TRACE_SCHEMA
+
+
+# ---------------------------------------------------------------------------
+# EventRing
+# ---------------------------------------------------------------------------
+
+def _event(ts, kind=EventKind.OP_OPEN, actor="a"):
+    return TraceEvent(ts=ts, kind=kind, actor=actor)
+
+
+def test_ring_keeps_newest_and_counts_dropped():
+    ring = EventRing(capacity=3)
+    for ts in range(5):
+        ring.append(_event(float(ts)))
+    assert len(ring) == 3
+    assert ring.dropped == 2
+    assert ring.truncated
+    # Oldest-first iteration even after the cursor wrapped.
+    assert [e.ts for e in ring] == [2.0, 3.0, 4.0]
+    assert [e.ts for e in ring.last(2)] == [3.0, 4.0]
+    assert ring.stats() == {"recorded": 3, "capacity": 3,
+                            "dropped": 2, "truncated": True}
+
+
+def test_ring_below_capacity_is_complete():
+    ring = EventRing(capacity=4)
+    ring.extend(_event(float(ts)) for ts in range(3))
+    assert not ring.truncated
+    assert ring.dropped == 0
+    assert [e.ts for e in ring] == [0.0, 1.0, 2.0]
+
+
+def test_ring_grow_preserves_order_and_never_shrinks():
+    ring = EventRing(capacity=2)
+    for ts in range(4):
+        ring.append(_event(float(ts)))
+    assert [e.ts for e in ring] == [2.0, 3.0]
+    ring.grow(5)
+    assert ring.capacity == 5
+    assert [e.ts for e in ring] == [2.0, 3.0]
+    ring.append(_event(9.0))
+    assert [e.ts for e in ring] == [2.0, 3.0, 9.0]
+    assert ring.dropped == 2          # history carries over
+    ring.grow(1)                      # shrinking is a no-op
+    assert ring.capacity == 5
+    ring.clear()
+    assert len(ring) == 0
+
+
+def test_ring_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError, match="capacity"):
+        EventRing(capacity=0)
+
+
+def test_event_dict_round_trip_is_sparse():
+    full = TraceEvent(ts=1.5, kind=EventKind.DMA_COMPLETE,
+                      actor="nic.n0", label="read", nbytes=4096.0,
+                      dur=0.25, flow_id=7)
+    bare = TraceEvent(ts=2.0, kind=EventKind.CACHE_HIT, actor="c")
+    assert TraceEvent.from_dict(full.to_dict()) == full
+    assert bare.to_dict() == {"ts": 2.0, "kind": EventKind.CACHE_HIT,
+                              "actor": "c"}
+    assert TraceEvent.from_dict(bare.to_dict()) == bare
+
+
+# ---------------------------------------------------------------------------
+# Trace: emit, ledger, serialization, merge
+# ---------------------------------------------------------------------------
+
+def test_emit_records_and_advances_watermark():
+    trace = Trace()
+    trace.emit(1.0, EventKind.OP_OPEN, "stage.g.s")
+    assert trace.clock == 1.0
+    # A window-shaped event advances the clock to its end.
+    trace.emit(2.0, EventKind.CREDIT_STALL, "g.a->b", dur=0.5)
+    assert trace.clock == 2.5
+    assert [e.kind for e in trace.events] == [EventKind.OP_OPEN,
+                                              EventKind.CREDIT_STALL]
+    assert trace.event_stats()["recorded"] == 2
+    assert trace.next_flow_id() == 1
+    assert trace.next_flow_id() == 2
+
+
+def test_trace_v2_round_trip_with_events_and_ledger():
+    trace = Trace()
+    trace.add("link.net0.bytes", 100.0)
+    trace.emit(0.5, EventKind.CHUNK_EMIT, "g.a->b", nbytes=100.0,
+               flow_id=1)
+    trace.emit(0.7, EventKind.CHUNK_RECV, "g.a->b", flow_id=1)
+    trace.record_movement("net0", "g.a", "x->y", 100.0)
+    data = trace.to_dict()
+    assert data["schema"] == TRACE_SCHEMA == "repro.trace/v2"
+    rebuilt = Trace.from_dict(json.loads(json.dumps(data)))
+    assert [e for e in rebuilt.events] == [e for e in trace.events]
+    assert rebuilt.ledger == trace.ledger
+    assert rebuilt.to_dict() == data
+
+
+def test_from_dict_accepts_v1_payload():
+    trace = Trace()
+    trace.add("n", 2.0)
+    data = trace.to_dict()
+    data["schema"] = "repro.trace/v1"
+    del data["events"]
+    del data["ledger"]
+    rebuilt = Trace.from_dict(data)
+    assert rebuilt.counter("n") == 2.0
+    assert len(rebuilt.events) == 0
+    assert rebuilt.ledger == {}
+
+
+def test_merge_interleaves_events_and_adds_ledger_cells():
+    a, b = Trace(), Trace()
+    a.emit(1.0, EventKind.OP_OPEN, "x")
+    a.emit(3.0, EventKind.OP_CLOSE, "x")
+    b.emit(2.0, EventKind.CACHE_MISS, "c")
+    a.record_movement("net0", "s1", "up", 100.0)
+    b.record_movement("net0", "s1", "up", 50.0)
+    b.record_movement("pcie0", "s2", "down", 10.0)
+    a._flow_seq, b._flow_seq = 3, 7
+    a.merge(b)
+    assert [e.ts for e in a.events] == [1.0, 2.0, 3.0]
+    assert a.ledger[("net0", "s1", "up")] == [150.0, 2.0]
+    assert a.ledger[("pcie0", "s2", "down")] == [10.0, 1.0]
+    assert a.next_flow_id() == 8    # sequence continues past both
+
+
+def test_merge_never_drops_retained_events():
+    """Merging two full rings grows capacity instead of truncating."""
+    a, b = Trace(), Trace()
+    a.events = EventRing(capacity=2)
+    b.events = EventRing(capacity=2)
+    for ts in range(4):
+        a.emit(float(ts), EventKind.CACHE_HIT, "a")
+        b.emit(float(ts) + 0.5, EventKind.CACHE_MISS, "b")
+    assert a.events.dropped == b.events.dropped == 2
+    a.merge(b)
+    # Everything both sides still held survives, timestamp-sorted.
+    assert [e.ts for e in a.events] == [2.0, 2.5, 3.0, 3.5]
+    assert a.events.capacity >= 4
+    assert a.events.dropped == 4    # pre-merge losses carry over
+
+
+# ---------------------------------------------------------------------------
+# Backpressure attribution
+# ---------------------------------------------------------------------------
+
+def test_credit_stall_attributed_to_sending_stage():
+    sim = Simulator()
+    trace = Trace()
+    link = Link(sim, trace, "net0", bandwidth=1e6, latency=1e-6,
+                segment="network")
+    inbox = Store(sim, name="inbox")
+    channel = CreditChannel(sim, trace, "g.a->b", [link], inbox,
+                            credits=2, actor="g.a", direction="x->y")
+
+    def producer():
+        for _ in range(8):
+            yield from channel.send(b"payload", 4096)
+        yield from channel.send_end()
+
+    def consumer():
+        for _ in range(9):
+            yield inbox.get()
+            yield sim.timeout(0.05)   # slow: starves the window
+            channel.ack()
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+
+    report = trace.stall_report()
+    assert set(report) == {"g.a"}    # charged to the *sender* stage
+    stats = report["g.a"]
+    assert stats["credit_starved_s"] > 0.0
+    assert stats["total_s"] == pytest.approx(
+        stats["credit_starved_s"] + stats["downstream_full_s"]
+        + stats["device_busy_s"])
+    kinds = {e.kind for e in trace.events}
+    assert EventKind.CREDIT_STALL in kinds
+    assert EventKind.CREDIT_GRANT in kinds
+    stalls = [e for e in trace.events
+              if e.kind == EventKind.CREDIT_STALL]
+    assert sum(e.dur for e in stalls) == pytest.approx(
+        stats["credit_starved_s"])
+
+
+def test_device_slot_contention_counter():
+    sim = Simulator()
+    trace = Trace()
+    device = Device(sim, trace, "cpu", rates={OpKind.GENERIC: 1e6},
+                    slots=1)
+
+    def worker():
+        yield from device.execute(OpKind.GENERIC, 1e6)
+
+    sim.process(worker())
+    sim.process(worker())    # queues behind the single slot
+    sim.run()
+    assert trace.counter("device.cpu.slot_wait_s") > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace export
+# ---------------------------------------------------------------------------
+
+def _sample_trace():
+    trace = Trace()
+    span = trace.open_span("query.volcano", 0.0)
+    trace.close_span(span, 2.0)
+    trace.emit(0.5, EventKind.CHUNK_EMIT, "g.a->b", nbytes=256.0,
+               flow_id=1)
+    trace.emit(0.9, EventKind.CHUNK_RECV, "g.a->b", flow_id=1)
+    trace.emit(1.0, EventKind.CREDIT_STALL, "g.a->b", dur=0.25)
+    trace.emit(1.5, EventKind.CACHE_MISS, "cache.c0", label="k")
+    return trace
+
+
+def test_chrome_trace_records_are_uniformly_shaped():
+    payload = chrome_trace(_sample_trace())
+    events = payload["traceEvents"]
+    assert events
+    for record in events:
+        for key in ("ph", "ts", "pid", "tid"):
+            assert key in record, (record, key)
+    phases = {r["ph"] for r in events}
+    assert {"M", "X", "i", "s", "f"} <= phases
+    # The chunk_emit/chunk_recv pair became a tied flow arrow.
+    starts = [r for r in events if r["ph"] == "s"]
+    finishes = [r for r in events if r["ph"] == "f"]
+    assert len(starts) == len(finishes) == 1
+    assert starts[0]["id"] == finishes[0]["id"]
+    # Timestamps are microseconds (1 simulated second = 1e6 us).
+    spans = [r for r in events
+             if r["ph"] == "X" and r["name"] == "query.volcano"]
+    assert spans[0]["dur"] == pytest.approx(2e6)
+
+
+def test_chrome_trace_export_round_trips_through_json(tmp_path):
+    path = tmp_path / "trace.json"
+    payload = export_chrome_trace(_sample_trace(), str(path))
+    loaded = json.loads(path.read_text())
+    assert loaded == payload
+    assert isinstance(loaded["traceEvents"], list)
+    assert loaded["otherData"]["event_ring"]["truncated"] is False
+
+
+# ---------------------------------------------------------------------------
+# NIC DMA transfers
+# ---------------------------------------------------------------------------
+
+def test_nic_dma_transfer_occupies_an_engine_and_emits_events():
+    sim = Simulator()
+    trace = Trace()
+    nic = NIC(sim, trace, "n0", gbits=100.0, dma_engines=1)
+    nbytes = nic.line_rate * 0.5       # half a second each
+
+    def xfer():
+        yield from nic.dma_transfer(nbytes, label="scatter")
+
+    sim.process(xfer())
+    sim.process(xfer())                # queues behind the one engine
+    sim.run()
+    assert sim.now == pytest.approx(1.0)
+    assert trace.counter("nic.n0.dma_transfers") == 2
+    assert trace.counter("nic.n0.dma_bytes") == pytest.approx(
+        2 * nbytes)
+    completes = [e for e in trace.events
+                 if e.kind == EventKind.DMA_COMPLETE]
+    assert len(completes) == 2
+    assert completes[0].dur == pytest.approx(0.5)
+    assert completes[1].dur == pytest.approx(1.0)  # waited 0.5 s
+    assert completes[0].actor == "nic.n0"
+    assert completes[0].label == "scatter"
+
+
+# ---------------------------------------------------------------------------
+# utilization() guards: elapsed <= 0 never divides
+# ---------------------------------------------------------------------------
+
+def test_trace_utilization_zero_horizon():
+    trace = Trace()
+    span = trace.open_span("dev", 0.0)
+    trace.close_span(span, 1.0)
+    assert trace.utilization("dev", elapsed=0.0) == 0.0
+    assert trace.utilization("dev", elapsed=-1.0) == 0.0
+    assert Trace().utilization("dev") == 0.0     # clock still at 0
+
+
+def test_resource_and_device_utilization_zero_horizon():
+    sim = Simulator()
+    trace = Trace()
+    resource = Resource(sim, capacity=1, name="r")
+    assert resource.utilization(elapsed=0.0) == 0.0
+    assert resource.utilization() == 0.0         # sim.now == 0
+    device = Device(sim, trace, "d", rates={OpKind.GENERIC: 1e9})
+    assert device.utilization(elapsed=0.0) == 0.0
+    link = Link(sim, trace, "l0", bandwidth=1e9, latency=0.0)
+    assert link.utilization(elapsed=0.0) == 0.0
+    nic = NIC(sim, trace, "n0")
+    assert nic.utilization(elapsed=0.0) == {"dma": 0.0}
