@@ -18,6 +18,16 @@ Two layers:
 Both layers land in one schema-versioned JSON report
 (``BENCH_<tag>.json``, schema :data:`repro.obs.REPORT_SCHEMA`) so
 runs are diffable across commits and machines.
+
+Parallelism: every scenario owns its :class:`~repro.sim.Simulator`
+and builds its fabric fresh, so scenarios are independent and
+``--jobs N`` fans them out across worker processes — determinism is
+free, and per-scenario ``wall_time_s`` stays a single-process
+measurement (it is clocked inside the worker).  The report's
+``totals.wall_time_s`` therefore remains comparable across job
+counts, while ``totals.harness_wall_s`` shows the parallel win.
+``--profile`` wraps the in-process run in cProfile and embeds the
+top functions (by cumulative time) in the report.
 """
 
 from __future__ import annotations
@@ -55,7 +65,7 @@ from .relational import (
 
 __all__ = ["SMOKE_SCENARIOS", "run_smoke", "run_experiments",
            "write_report", "compare_reports", "run_compare",
-           "run_cli", "main"]
+           "profile_call", "run_cli", "main"]
 
 DEFAULT_ROWS = 6000
 _CHUNK = 1000
@@ -69,15 +79,26 @@ checksums and row counts must always match exactly.
 """
 
 
+# Catalogs are memoized per row count: the generators are seeded (the
+# same rows come back bit for bit) and scenarios treat tables as
+# immutable, so rebuilding the catalog per scenario only burned wall
+# time.  Worker processes (--jobs) each fill their own cache.
+_CATALOG_CACHE: dict[int, Catalog] = {}
+
+
 def _make_catalog(rows: int) -> Catalog:
-    catalog = Catalog()
-    catalog.register("lineitem", make_lineitem(rows, orders=rows // 4,
-                                               chunk_rows=_CHUNK))
-    catalog.register("orders", make_orders(rows // 4,
-                                           chunk_rows=_CHUNK))
-    catalog.register("uniform", make_uniform_table(rows, columns=3,
-                                                   distinct=50,
+    catalog = _CATALOG_CACHE.get(rows)
+    if catalog is None:
+        catalog = Catalog()
+        catalog.register("lineitem", make_lineitem(rows,
+                                                   orders=rows // 4,
                                                    chunk_rows=_CHUNK))
+        catalog.register("orders", make_orders(rows // 4,
+                                               chunk_rows=_CHUNK))
+        catalog.register("uniform", make_uniform_table(rows, columns=3,
+                                                       distinct=50,
+                                                       chunk_rows=_CHUNK))
+        _CATALOG_CACHE[rows] = catalog
     return catalog
 
 
@@ -266,23 +287,63 @@ def _register_smoke() -> None:
 _register_smoke()
 
 
+def _run_smoke_task(task: tuple[str, int]) -> dict:
+    """One (scenario name, rows) unit of work — picklable for --jobs."""
+    name, rows = task
+    return SMOKE_SCENARIOS[name](rows)
+
+
+def _map_tasks(worker: Callable, tasks: list, jobs: int) -> list:
+    """Map ``worker`` over ``tasks``, fanning out when ``jobs`` > 1.
+
+    Each task runs in its own worker process; results come back in
+    task order, so the merged report is independent of the job count.
+    """
+    if jobs <= 1 or len(tasks) <= 1:
+        return [worker(task) for task in tasks]
+    import multiprocessing
+    with multiprocessing.get_context().Pool(
+            processes=min(jobs, len(tasks))) as pool:
+        return pool.map(worker, tasks)
+
+
+def _warm_catalogs(tasks: list[tuple[str, int]], jobs: int) -> None:
+    """Fill the catalog cache in the parent before fanning out.
+
+    Forked workers inherit the cache copy-on-write, so every job
+    count pays the (dominant) table-generation cost exactly once and
+    per-scenario ``wall_time_s`` stays comparable across ``--jobs``.
+    On spawn platforms this is merely a no-op warm-up for the parent.
+    """
+    if jobs > 1:
+        for rows in sorted({rows for _name, rows in tasks}):
+            _make_catalog(rows)
+
+
 def run_smoke(rows: int = DEFAULT_ROWS,
               only: Optional[list[str]] = None,
-              echo: Callable[[str], None] = lambda _line: None
-              ) -> list[dict]:
-    """Run the smoke scenarios; returns one record per scenario."""
+              echo: Callable[[str], None] = lambda _line: None,
+              jobs: int = 1) -> list[dict]:
+    """Run the smoke scenarios; returns one record per scenario.
+
+    ``jobs`` > 1 fans scenarios out across worker processes.  Each
+    scenario owns its simulator and fabric, so the records (simulated
+    times, checksums, ledgers) are identical at any job count; only
+    harness wall time changes.
+    """
     names = only if only is not None else sorted(SMOKE_SCENARIOS)
     unknown = [n for n in names if n not in SMOKE_SCENARIOS]
     if unknown:
         raise ValueError(f"unknown smoke scenarios {unknown} "
                          f"(have {sorted(SMOKE_SCENARIOS)})")
-    records = []
-    for name in names:
-        record = SMOKE_SCENARIOS[name](rows)
-        echo(f"  smoke {name:18} sim {record['sim_time_s']:.6f}s  "
+    tasks = [(name, rows) for name in names]
+    _warm_catalogs(tasks, jobs)
+    records = _map_tasks(_run_smoke_task, tasks, jobs)
+    for record in records:
+        echo(f"  smoke {record['name']:18} "
+             f"sim {record['sim_time_s']:.6f}s  "
              f"wall {record['wall_time_s']:.2f}s  "
              f"checksum {record['checksum'][:12]}")
-        records.append(record)
     return records
 
 
@@ -372,16 +433,22 @@ def run_experiment(exp_id: str, bench_dir: Optional[str] = None
     }
 
 
+def _run_experiment_task(task: tuple[str, Optional[str]]) -> dict:
+    """One (experiment id, bench_dir) unit of work for --jobs."""
+    exp_id, bench_dir = task
+    return run_experiment(exp_id, bench_dir)
+
+
 def run_experiments(exp_ids: list[str],
                     bench_dir: Optional[str] = None,
-                    echo: Callable[[str], None] = lambda _line: None
-                    ) -> list[dict]:
-    records = []
-    for exp_id in exp_ids:
-        record = run_experiment(exp_id, bench_dir)
-        echo(f"  exp {exp_id:6} ({record['script']})  "
+                    echo: Callable[[str], None] = lambda _line: None,
+                    jobs: int = 1) -> list[dict]:
+    records = _map_tasks(_run_experiment_task,
+                         [(exp_id, bench_dir) for exp_id in exp_ids],
+                         jobs)
+    for record in records:
+        echo(f"  exp {record['name']:6} ({record['script']})  "
              f"wall {record['wall_time_s']:.2f}s")
-        records.append(record)
     return records
 
 
@@ -451,24 +518,34 @@ def compare_reports(baseline: dict, fresh: list[dict],
 
 def run_compare(baseline_path: str,
                 tolerance: float = DEFAULT_TOLERANCE,
-                echo: Callable[[str], None] = lambda _line: None
-                ) -> int:
-    """Re-run the baseline's scenarios and diff; 0 = pass, 1 = fail."""
+                echo: Callable[[str], None] = lambda _line: None,
+                jobs: int = 1) -> int:
+    """Re-run the baseline's scenarios and diff; 0 = pass, 1 = fail.
+
+    Besides the gating checks (checksums/rows exact, times and bytes
+    within ``tolerance``), prints the wall-time delta against the
+    baseline — informational only, since wall clocks differ across
+    machines.
+    """
     with open(baseline_path) as handle:
         baseline = json.load(handle)
     validate_report(baseline)
     echo(f"comparing against {baseline_path} "
          f"(schema {baseline.get('schema')}, "
          f"tolerance {tolerance:.1%}):")
-    fresh: list[dict] = []
-    for base in baseline.get("smoke", []):
-        name = base["name"]
-        if name not in SMOKE_SCENARIOS:
-            continue  # reported as missing by compare_reports
-        record = SMOKE_SCENARIOS[name](base.get("rows", DEFAULT_ROWS))
-        echo(f"  rerun {name:18} sim {record['sim_time_s']:.6f}s  "
+    tasks = [(base["name"], base.get("rows", DEFAULT_ROWS))
+             for base in baseline.get("smoke", [])
+             if base["name"] in SMOKE_SCENARIOS]
+    # Scenarios not in SMOKE_SCENARIOS are reported as missing by
+    # compare_reports.
+    _warm_catalogs(tasks, jobs)
+    fresh = _map_tasks(_run_smoke_task, tasks, jobs)
+    for record in fresh:
+        echo(f"  rerun {record['name']:18} "
+             f"sim {record['sim_time_s']:.6f}s  "
+             f"wall {record['wall_time_s']:.2f}s  "
              f"checksum {record['checksum'][:12]}")
-        fresh.append(record)
+    _echo_wall_delta(baseline, fresh, echo)
     violations = compare_reports(baseline, fresh, tolerance)
     if violations:
         for line in violations:
@@ -477,6 +554,55 @@ def run_compare(baseline_path: str,
     echo(f"baseline comparison passed "
          f"({len(baseline.get('smoke', []))} scenarios)")
     return 0
+
+
+def _echo_wall_delta(baseline: dict, fresh: list[dict],
+                     echo: Callable[[str], None]) -> None:
+    """Print the wall-time trajectory vs. the baseline (non-gating)."""
+    base_wall = sum(r.get("wall_time_s", 0.0)
+                    for r in baseline.get("smoke", []))
+    fresh_wall = sum(r.get("wall_time_s", 0.0) for r in fresh)
+    if base_wall <= 0 or fresh_wall <= 0:
+        return
+    ratio = base_wall / fresh_wall
+    direction = "speedup" if ratio >= 1.0 else "slowdown"
+    echo(f"wall time (informational): baseline {base_wall:.3f}s -> "
+         f"fresh {fresh_wall:.3f}s  ({ratio:.2f}x {direction})")
+
+
+# ---------------------------------------------------------------------------
+# Profiling (--profile)
+# ---------------------------------------------------------------------------
+
+def profile_call(fn: Callable[[], object], top: int = 25
+                 ) -> tuple[object, dict]:
+    """Run ``fn`` under cProfile; return (result, profile section).
+
+    The section lists the ``top`` functions by cumulative time plus
+    the grand totals — enough to spot the hot path from the JSON
+    artifact without shipping the raw .prof file.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    result = profiler.runcall(fn)
+    stats = pstats.Stats(profiler)
+    entries = []
+    for (filename, line, func), (cc, nc, tt, ct, _callers) in sorted(
+            stats.stats.items(), key=lambda item: -item[1][3])[:top]:
+        entries.append({
+            "function": f"{os.path.basename(filename)}:{line}({func})",
+            "ncalls": nc,
+            "primitive_calls": cc,
+            "tottime_s": round(tt, 6),
+            "cumtime_s": round(ct, 6),
+        })
+    return result, {
+        "top_by_cumtime": entries,
+        "total_calls": stats.total_calls,
+        "total_tt_s": round(stats.total_tt, 6),
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -496,11 +622,13 @@ def write_report(report: dict, out_dir: str) -> str:
 
 def run_cli(args) -> int:
     echo = (lambda _line: None) if args.quiet else print
+    jobs = max(1, getattr(args, "jobs", 1) or 1)
     if getattr(args, "compare", None):
         return run_compare(args.compare,
                            tolerance=getattr(args, "tolerance",
                                              DEFAULT_TOLERANCE),
-                           echo=echo)
+                           echo=echo,
+                           jobs=jobs)
     if args.list:
         print("smoke scenarios:")
         for name in sorted(SMOKE_SCENARIOS):
@@ -520,25 +648,48 @@ def run_cli(args) -> int:
                        for e in args.exp.split(",") if e.strip()]
     run_smoke_set = args.smoke or not exp_ids
 
-    smoke: list[dict] = []
-    if run_smoke_set:
-        echo(f"running smoke scenarios (rows={args.rows}):")
-        smoke = run_smoke(rows=args.rows, echo=echo)
-    experiments: list[dict] = []
-    if exp_ids:
-        echo(f"running experiments: {', '.join(exp_ids)}")
-        experiments = run_experiments(exp_ids, args.bench_dir,
-                                      echo=echo)
+    profiling = getattr(args, "profile", False)
+    if profiling and jobs > 1:
+        echo("--profile runs in-process; ignoring --jobs")
+        jobs = 1
+
+    def run_all() -> tuple[list[dict], list[dict]]:
+        smoke: list[dict] = []
+        if run_smoke_set:
+            echo(f"running smoke scenarios (rows={args.rows}"
+                 + (f", jobs={jobs}" if jobs > 1 else "") + "):")
+            smoke = run_smoke(rows=args.rows, echo=echo, jobs=jobs)
+        experiments: list[dict] = []
+        if exp_ids:
+            echo(f"running experiments: {', '.join(exp_ids)}")
+            experiments = run_experiments(exp_ids, args.bench_dir,
+                                          echo=echo, jobs=jobs)
+        return smoke, experiments
+
+    harness_started = time.perf_counter()
+    profile: Optional[dict] = None
+    if profiling:
+        (smoke, experiments), profile = profile_call(
+            run_all, top=getattr(args, "profile_top", 25))
+        for entry in profile["top_by_cumtime"][:5]:
+            echo(f"  profile {entry['cumtime_s']:8.3f}s cum  "
+                 f"{entry['function']}")
+    else:
+        smoke, experiments = run_all()
+    harness_wall = time.perf_counter() - harness_started
 
     from datetime import datetime, timezone
     report = make_report(
         args.tag, smoke, experiments,
         created=datetime.now(timezone.utc).isoformat(
-            timespec="seconds"))
+            timespec="seconds"),
+        extra_totals={"harness_wall_s": harness_wall, "jobs": jobs},
+        profile=profile)
     path = write_report(report, args.out)
     echo(f"report: {path}  "
          f"({report['totals']['benchmarks']} benchmarks, "
-         f"wall {report['totals']['wall_time_s']:.2f}s)")
+         f"wall {report['totals']['wall_time_s']:.2f}s, "
+         f"harness {harness_wall:.2f}s)")
     return 0
 
 
@@ -564,6 +715,17 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
                         default=DEFAULT_TOLERANCE,
                         help="relative tolerance for time/byte diffs "
                              "in --compare (checksums stay exact)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run scenarios/experiments across N "
+                             "worker processes (results are identical "
+                             "at any job count)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and embed the top "
+                             "functions by cumulative time in the "
+                             "report (forces in-process execution)")
+    parser.add_argument("--profile-top", type=int, default=25,
+                        metavar="N", dest="profile_top",
+                        help="number of functions kept by --profile")
     parser.add_argument("--list", action="store_true",
                         help="list scenarios and experiments, then exit")
     parser.add_argument("--quiet", action="store_true",

@@ -97,13 +97,16 @@ class FilterOp(PhysicalOp):
 
     def __init__(self, predicate: Expression):
         self.predicate = predicate
+        # Compiled once per operator: per-chunk evaluation runs a
+        # chain of numpy closures, not a tree walk.
+        self._predicate_fn = predicate.compiled()
         self.kind = predicate.op_kind()
         self.name = f"filter({predicate!r})"
 
     def process(self, chunk: Chunk) -> list[Emit]:
         if chunk.num_rows == 0:
             return []
-        mask = self.predicate.evaluate(chunk)
+        mask = self._predicate_fn(chunk)
         out = chunk.filter(np.asarray(mask, dtype=bool))
         if out.num_rows == 0:
             return []
@@ -132,6 +135,8 @@ class MapOp(PhysicalOp):
 
     def __init__(self, exprs: dict, output_schema: Schema):
         self.exprs = dict(exprs)
+        self._expr_fns = [(name, expr.compiled())
+                          for name, expr in self.exprs.items()]
         self.output_schema = output_schema
         self.name = f"map({','.join(self.exprs)})"
 
@@ -139,9 +144,8 @@ class MapOp(PhysicalOp):
         if chunk.num_rows == 0:
             return []
         columns = dict(chunk.columns)
-        for name, expr in self.exprs.items():
-            columns[name] = np.asarray(expr.evaluate(chunk),
-                                       dtype=np.float64)
+        for name, fn in self._expr_fns:
+            columns[name] = np.asarray(fn(chunk), dtype=np.float64)
         return [Emit(Chunk(self.output_schema, columns))]
 
 
@@ -190,6 +194,15 @@ def group_inverse(chunk: Chunk,
     if not group_by:
         empty = Chunk(Schema([]), {})
         return empty, np.zeros(n, dtype=np.int64)
+    if len(group_by) == 1:
+        # Single-key fast path: unique over the plain column (sorted
+        # ascending, like the structured-record path, so groups and
+        # inverse indices are identical) without building records.
+        g = group_by[0]
+        unique, inverse = np.unique(chunk.columns[g],
+                                    return_inverse=True)
+        groups = Chunk(chunk.schema.project([g]), {g: unique})
+        return groups, inverse.astype(np.int64)
     dtype = [(g, chunk.columns[g].dtype) for g in group_by]
     records = np.empty(n, dtype=dtype)
     for g in group_by:

@@ -127,22 +127,37 @@ def fabric_snapshot(fabric, elapsed: Optional[float] = None,
 
 def make_report(tag: str, smoke: list[dict],
                 experiments: Optional[list[dict]] = None,
-                created: str = "") -> dict:
-    """Assemble the schema-versioned benchmark report."""
+                created: str = "",
+                extra_totals: Optional[dict] = None,
+                profile: Optional[dict] = None) -> dict:
+    """Assemble the schema-versioned benchmark report.
+
+    ``totals.wall_time_s`` is always the *sum* of per-benchmark wall
+    times (each clocked inside its worker), so it stays comparable
+    across ``--jobs`` counts; harness-level figures such as
+    ``harness_wall_s`` and ``jobs`` arrive via ``extra_totals``.  An
+    optional ``profile`` section (``repro bench --profile``) carries
+    the cProfile hot-function table.
+    """
     experiments = experiments or []
     wall = sum(r.get("wall_time_s", 0.0) for r in smoke + experiments)
-    return {
+    totals = {
+        "benchmarks": len(smoke) + len(experiments),
+        "wall_time_s": wall,
+    }
+    totals.update(extra_totals or {})
+    report = {
         "schema": REPORT_SCHEMA,
         "tag": tag,
         "created": created,
         "python": "%d.%d.%d" % sys.version_info[:3],
         "smoke": smoke,
         "experiments": experiments,
-        "totals": {
-            "benchmarks": len(smoke) + len(experiments),
-            "wall_time_s": wall,
-        },
+        "totals": totals,
     }
+    if profile is not None:
+        report["profile"] = profile
+    return report
 
 
 _SMOKE_REQUIRED = ("name", "wall_time_s", "sim_time_s", "rows",

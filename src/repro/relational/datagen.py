@@ -65,9 +65,14 @@ def random_strings(rng: np.random.Generator, n: int, words: int = 4,
     """
     pool = min(pool, max(1, n))
     picks = rng.integers(0, len(_WORDS), size=(pool, words))
-    phrases = np.array(
-        [" ".join(_WORDS[j] for j in row)[:width] for row in picks],
-        dtype=f"<U{width}")
+    # Vectorized join: concatenate word columns with separators in C,
+    # then let the <U{width} cast truncate — identical strings to a
+    # per-row ``" ".join(...)[:width]``.
+    chosen = np.asarray(_WORDS)[picks]
+    phrases = chosen[:, 0]
+    for i in range(1, words):
+        phrases = np.char.add(np.char.add(phrases, " "), chosen[:, i])
+    phrases = phrases.astype(f"<U{width}")
     return phrases[rng.integers(0, pool, size=n)]
 
 

@@ -11,7 +11,8 @@ placement layer whether a device needs FILTER or REGEX capability
 from __future__ import annotations
 
 import re
-from typing import Optional
+from functools import lru_cache
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -35,11 +36,54 @@ __all__ = [
 ]
 
 
+@lru_cache(maxsize=512)
+def _like_regex(pattern: str) -> "re.Pattern[str]":
+    """The compiled regex for a SQL LIKE pattern (shared per pattern).
+
+    Cached at module level so the many places that build a fresh
+    :class:`Like` for the same pattern — one per operator instance,
+    plus the kernel compiler sizing its automaton in
+    :mod:`repro.engine.kernels` — share one compile.
+    """
+    parts = []
+    for char in pattern:
+        if char == "%":
+            parts.append(".*")
+        elif char == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(char))
+    return re.compile("^" + "".join(parts) + "$")
+
+
 class Expression:
-    """Base class for all expression nodes."""
+    """Base class for all expression nodes.
+
+    ``evaluate`` walks the tree per chunk; hot loops should call
+    :meth:`compiled` once per operator instead — it flattens the tree
+    into a chain of numpy closures (no isinstance dispatch, no regex
+    or set re-derivation per chunk) that computes the *same* array.
+    """
 
     def evaluate(self, chunk: Chunk) -> np.ndarray:
         raise NotImplementedError
+
+    def compiled(self) -> Callable[[Chunk], np.ndarray]:
+        """A cached closure computing this expression over a chunk.
+
+        The closure is built once per expression object and returns
+        results bit-identical to :meth:`evaluate`.
+        """
+        fn = getattr(self, "_compiled_fn", None)
+        if fn is None:
+            fn = self._compile()
+            self._compiled_fn = fn
+        return fn
+
+    def _compile(self) -> Callable[[Chunk], np.ndarray]:
+        # Subclasses override; unknown extension nodes fall back to
+        # the interpreted walk.
+        return self.evaluate
 
     def required_columns(self) -> set[str]:
         raise NotImplementedError
@@ -122,6 +166,10 @@ class Col(Expression):
     def evaluate(self, chunk: Chunk) -> np.ndarray:
         return chunk.column(self.name)
 
+    def _compile(self) -> Callable[[Chunk], np.ndarray]:
+        name = self.name
+        return lambda chunk: chunk.columns[name]
+
     def required_columns(self) -> set[str]:
         return {self.name}
 
@@ -137,6 +185,10 @@ class Const(Expression):
 
     def evaluate(self, chunk: Chunk) -> np.ndarray:
         return np.full(chunk.num_rows, self.value)
+
+    def _compile(self) -> Callable[[Chunk], np.ndarray]:
+        value = self.value
+        return lambda chunk: np.full(chunk.num_rows, value)
 
     def required_columns(self) -> set[str]:
         return set()
@@ -163,6 +215,11 @@ class Compare(Expression):
     def evaluate(self, chunk: Chunk) -> np.ndarray:
         return self._OPS[self.op](self.left.evaluate(chunk),
                                   self.right.evaluate(chunk))
+
+    def _compile(self) -> Callable[[Chunk], np.ndarray]:
+        ufunc = self._OPS[self.op]
+        left, right = self.left.compiled(), self.right.compiled()
+        return lambda chunk: ufunc(left(chunk), right(chunk))
 
     def required_columns(self) -> set[str]:
         return self.left.required_columns() | self.right.required_columns()
@@ -209,6 +266,11 @@ class Arith(Expression):
         return self._OPS[self.op](self.left.evaluate(chunk),
                                   self.right.evaluate(chunk))
 
+    def _compile(self) -> Callable[[Chunk], np.ndarray]:
+        ufunc = self._OPS[self.op]
+        left, right = self.left.compiled(), self.right.compiled()
+        return lambda chunk: ufunc(left(chunk), right(chunk))
+
     def required_columns(self) -> set[str]:
         return self.left.required_columns() | self.right.required_columns()
 
@@ -224,6 +286,10 @@ class And(Expression):
     def evaluate(self, chunk: Chunk) -> np.ndarray:
         return np.logical_and(self.left.evaluate(chunk),
                               self.right.evaluate(chunk))
+
+    def _compile(self) -> Callable[[Chunk], np.ndarray]:
+        left, right = self.left.compiled(), self.right.compiled()
+        return lambda chunk: np.logical_and(left(chunk), right(chunk))
 
     def required_columns(self) -> set[str]:
         return self.left.required_columns() | self.right.required_columns()
@@ -249,6 +315,10 @@ class Or(Expression):
         return np.logical_or(self.left.evaluate(chunk),
                              self.right.evaluate(chunk))
 
+    def _compile(self) -> Callable[[Chunk], np.ndarray]:
+        left, right = self.left.compiled(), self.right.compiled()
+        return lambda chunk: np.logical_or(left(chunk), right(chunk))
+
     def required_columns(self) -> set[str]:
         return self.left.required_columns() | self.right.required_columns()
 
@@ -272,6 +342,10 @@ class Not(Expression):
     def evaluate(self, chunk: Chunk) -> np.ndarray:
         return np.logical_not(self.operand.evaluate(chunk))
 
+    def _compile(self) -> Callable[[Chunk], np.ndarray]:
+        operand = self.operand.compiled()
+        return lambda chunk: np.logical_not(operand(chunk))
+
     def required_columns(self) -> set[str]:
         return self.operand.required_columns()
 
@@ -286,26 +360,32 @@ class Not(Expression):
 
 
 class Like(Expression):
-    """SQL LIKE pattern matching — REGEX work for the device model."""
+    """SQL LIKE pattern matching — REGEX work for the device model.
+
+    The regex is derived once in ``__init__`` (through the module's
+    shared pattern cache) and reused for every chunk.
+    """
 
     def __init__(self, operand: Expression, pattern: str):
         self.operand = operand
         self.pattern = pattern
-        parts = []
-        for char in pattern:
-            if char == "%":
-                parts.append(".*")
-            elif char == "_":
-                parts.append(".")
-            else:
-                parts.append(re.escape(char))
-        self._compiled = re.compile("^" + "".join(parts) + "$")
+        self._compiled = _like_regex(pattern)
 
     def evaluate(self, chunk: Chunk) -> np.ndarray:
-        values = self.operand.evaluate(chunk)
+        return self.compiled()(chunk)
+
+    def _compile(self) -> Callable[[Chunk], np.ndarray]:
         match = self._compiled.match
-        return np.fromiter((match(str(v)) is not None for v in values),
-                           dtype=bool, count=len(values))
+        operand = self.operand.compiled()
+
+        def run(chunk: Chunk) -> np.ndarray:
+            # tolist() converts to python scalars in one pass, which
+            # is much cheaper than per-element numpy indexing.
+            values = operand(chunk).tolist()
+            return np.fromiter(
+                (match(str(v)) is not None for v in values),
+                dtype=bool, count=len(values))
+        return run
 
     def required_columns(self) -> set[str]:
         return self.operand.required_columns()
@@ -332,6 +412,16 @@ class Between(Expression):
         values = self.operand.evaluate(chunk)
         return np.logical_and(values >= self.low.evaluate(chunk),
                               values <= self.high.evaluate(chunk))
+
+    def _compile(self) -> Callable[[Chunk], np.ndarray]:
+        operand = self.operand.compiled()
+        low, high = self.low.compiled(), self.high.compiled()
+
+        def run(chunk: Chunk) -> np.ndarray:
+            values = operand(chunk)
+            return np.logical_and(values >= low(chunk),
+                                  values <= high(chunk))
+        return run
 
     def required_columns(self) -> set[str]:
         return (self.operand.required_columns()
@@ -362,6 +452,11 @@ class InSet(Expression):
 
     def evaluate(self, chunk: Chunk) -> np.ndarray:
         return np.isin(self.operand.evaluate(chunk), self.values)
+
+    def _compile(self) -> Callable[[Chunk], np.ndarray]:
+        operand = self.operand.compiled()
+        values = self.values
+        return lambda chunk: np.isin(operand(chunk), values)
 
     def required_columns(self) -> set[str]:
         return self.operand.required_columns()

@@ -42,17 +42,37 @@ class Chunk:
     # -- construction ------------------------------------------------------
 
     @classmethod
+    def _from_valid(cls, schema: Schema,
+                    columns: dict[str, np.ndarray]) -> "Chunk":
+        """Internal fast constructor: skips validation and coercion.
+
+        Only for columns already known to match ``schema`` — the
+        row-subset / column-subset transformations below, whose inputs
+        went through the checked ``__init__`` once.
+        """
+        chunk = cls.__new__(cls)
+        chunk.schema = schema
+        chunk.columns = columns
+        return chunk
+
+    @classmethod
     def empty(cls, schema: Schema) -> "Chunk":
         return cls(schema, {
             f.name: np.empty(0, dtype=f.numpy_dtype) for f in schema.fields})
 
     @classmethod
     def concat(cls, chunks: Sequence["Chunk"]) -> "Chunk":
-        """Concatenate chunks sharing a schema into one."""
+        """Concatenate chunks sharing a schema into one.
+
+        A single chunk is returned as-is (chunks are immutable by
+        convention, so aliasing is safe) — no reallocation.
+        """
         if not chunks:
             raise ValueError("concat of zero chunks")
+        if len(chunks) == 1:
+            return chunks[0]
         schema = chunks[0].schema
-        return cls(schema, {
+        return cls._from_valid(schema, {
             name: np.concatenate([c.columns[name] for c in chunks])
             for name in schema.names})
 
@@ -84,23 +104,27 @@ class Chunk:
         """Keep only ``names``, in order."""
         names = list(names)
         schema = self.schema.project(names)
-        return Chunk(schema, {n: self.columns[n] for n in names})
+        return Chunk._from_valid(schema,
+                                 {n: self.columns[n] for n in names})
 
     def filter(self, mask: np.ndarray) -> "Chunk":
         """Rows where ``mask`` is true."""
         if len(mask) != self.num_rows:
             raise ValueError("mask length mismatch")
-        return Chunk(self.schema,
-                     {n: col[mask] for n, col in self.columns.items()})
+        return Chunk._from_valid(
+            self.schema,
+            {n: col[mask] for n, col in self.columns.items()})
 
     def take(self, indices: np.ndarray) -> "Chunk":
         """Rows at ``indices`` (may repeat / reorder)."""
-        return Chunk(self.schema,
-                     {n: col[indices] for n, col in self.columns.items()})
+        return Chunk._from_valid(
+            self.schema,
+            {n: col[indices] for n, col in self.columns.items()})
 
     def slice(self, start: int, stop: int) -> "Chunk":
-        return Chunk(self.schema,
-                     {n: col[start:stop] for n, col in self.columns.items()})
+        return Chunk._from_valid(
+            self.schema,
+            {n: col[start:stop] for n, col in self.columns.items()})
 
     def with_column(self, field: Field, values: np.ndarray) -> "Chunk":
         """A new chunk with one extra column appended."""
@@ -121,11 +145,16 @@ class Chunk:
     # -- test/oracle helpers ---------------------------------------------------
 
     def to_rows(self) -> list[tuple]:
-        """Rows as python tuples (for correctness oracles)."""
-        arrays = [self.columns[n] for n in self.schema.names]
-        return [tuple(a[i].item() if hasattr(a[i], "item") else a[i]
-                      for a in arrays)
-                for i in range(self.num_rows)]
+        """Rows as python tuples (for correctness oracles).
+
+        ``tolist`` converts each column to python scalars in one
+        vectorized pass — the same values ``.item()`` produces
+        element-wise, minus the per-cell dispatch.
+        """
+        if not self.schema.names:
+            return []
+        columns = [self.columns[n].tolist() for n in self.schema.names]
+        return list(zip(*columns))
 
     def sorted_rows(self) -> list[tuple]:
         """Rows sorted, for order-insensitive comparison."""

@@ -79,7 +79,7 @@ class EventKind:
     )
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceEvent:
     """One typed occurrence at a simulated instant.
 

@@ -10,11 +10,29 @@ events scheduled for the same instant fire in schedule order.
 Everything in :mod:`repro` ultimately runs on this kernel: simulated
 CPU cores, NIC processors, DMA engines, and flow-control loops are all
 processes, so their interleaving is explicit and replayable.
+
+Fast path
+---------
+Most events in a run are *zero-delay*: ``succeed()``, process resume,
+interrupt, and Store/Resource grants all schedule at the current
+instant.  Pushing those through the time-ordered heap costs two
+``O(log n)`` operations for an entry whose timestamp is already known
+to be ``now``.  The kernel therefore keeps a FIFO deque of
+``(seq, event)`` pairs for zero-delay events and only uses the heap
+for real timeouts.  The dispatch rule compares the global sequence
+number of the deque head against the heap head whenever both are due
+at the same instant, so the total event order is *bit-identical* to
+the heap-only ordering — the fast path changes wall-clock time, never
+simulated time.  Set ``REPRO_SLOW_KERNEL=1`` to force every event
+through the heap (the reference path the determinism guard tests
+compare against).
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -54,11 +72,14 @@ class Event:
     immediately (at the current simulated time).
     """
 
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
         self._value: Any = None
         self._ok: Optional[bool] = None
+        self._defused = False
 
     @property
     def triggered(self) -> bool:
@@ -122,6 +143,8 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
@@ -139,6 +162,8 @@ class Process(Event):
     return value) when the generator finishes, so processes can wait
     for each other by yielding the :class:`Process` object.
     """
+
+    __slots__ = ("name", "_generator", "_target")
 
     def __init__(self, sim: "Simulator", generator: Generator,
                  name: str = ""):
@@ -211,6 +236,8 @@ class Process(Event):
 class _Condition(Event):
     """Base for AllOf/AnyOf composite events."""
 
+    __slots__ = ("_events", "_pending")
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
         self._events = list(events)
@@ -240,6 +267,8 @@ class AllOf(_Condition):
     order) to its value.
     """
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self.triggered:
             return
@@ -255,6 +284,8 @@ class AllOf(_Condition):
 class AnyOf(_Condition):
     """Fires as soon as any constituent event fires."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self.triggered:
             return
@@ -266,19 +297,33 @@ class AnyOf(_Condition):
 
 
 class Simulator:
-    """The event loop: a clock plus a priority queue of pending events."""
+    """The event loop: a clock plus a priority queue of pending events.
+
+    Zero-delay events take a fast path: they are appended to a FIFO
+    deque instead of the heap (see the module docstring).  Dispatch
+    interleaves deque and heap by global sequence number, so the event
+    order is identical to a heap-only kernel.
+    """
 
     def __init__(self):
         self.now: float = 0.0
         self._queue: list[tuple[float, int, Event]] = []
+        self._immediate: deque[tuple[int, Event]] = deque()
         self._seq = 0
         self._active_process: Optional[Process] = None
+        self.fast_path = not os.environ.get("REPRO_SLOW_KERNEL")
 
     # -- scheduling ----------------------------------------------------
 
     def _schedule(self, delay: float, event: Event) -> None:
         self._seq += 1
-        heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+        if delay == 0.0 and self.fast_path:
+            # Entries in the immediate deque are always due at the
+            # current instant: time only advances when the deque is
+            # empty, so ``now`` at dispatch equals ``now`` at schedule.
+            self._immediate.append((self._seq, event))
+        else:
+            heapq.heappush(self._queue, (self.now + delay, self._seq, event))
 
     # -- factory helpers -----------------------------------------------
 
@@ -304,17 +349,37 @@ class Simulator:
 
     # -- running -------------------------------------------------------
 
-    def step(self) -> None:
-        """Process the single next event."""
+    def _pop(self) -> Event:
+        """The next due event across the deque and the heap.
+
+        Deque entries are due at ``now``; a heap entry wins only when
+        it is *also* due at ``now`` and carries an earlier sequence
+        number (it was scheduled before the deque head).
+        """
+        immediate = self._immediate
+        if immediate:
+            queue = self._queue
+            if queue and queue[0][0] <= self.now \
+                    and queue[0][1] < immediate[0][0]:
+                return heapq.heappop(queue)[2]
+            return immediate.popleft()[1]
         when, _seq, event = heapq.heappop(self._queue)
         if when < self.now:
             raise SimulationError("event scheduled in the past")
         self.now = when
+        return event
+
+    def step(self) -> None:
+        """Process the single next event."""
+        event = self._pop()
         callbacks = event.callbacks
         event.callbacks = None
-        for callback in callbacks:
-            callback(event)
-        if not event._ok and not getattr(event, "_defused", False):
+        if len(callbacks) == 1:
+            callbacks[0](event)
+        else:
+            for callback in callbacks:
+                callback(event)
+        if not event._ok and not event._defused:
             exc = event._value
             raise exc
 
@@ -323,11 +388,25 @@ class Simulator:
         if until is not None and until < self.now:
             raise SimulationError(
                 f"until={until!r} is in the past (now={self.now!r})")
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
+        # The hot loop: step() inlined with local bindings.  Immediate
+        # events are always due now (<= until), so the horizon check
+        # only consults the heap when the deque is empty.
+        pop, immediate, queue = self._pop, self._immediate, self._queue
+        while queue or immediate:
+            if until is not None and not immediate \
+                    and queue[0][0] > until:
                 self.now = until
                 return
-            self.step()
+            event = pop()
+            callbacks = event.callbacks
+            event.callbacks = None
+            if len(callbacks) == 1:
+                callbacks[0](event)
+            else:
+                for callback in callbacks:
+                    callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
         if until is not None:
             self.now = until
 
@@ -349,4 +428,4 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of events still queued (for tests/diagnostics)."""
-        return len(self._queue)
+        return len(self._queue) + len(self._immediate)

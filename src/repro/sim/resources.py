@@ -25,13 +25,15 @@ __all__ = ["Store", "Resource", "Gate"]
 
 
 class _StorePut(Event):
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.sim)
         self.item = item
 
 
 class _StoreGet(Event):
-    pass
+    __slots__ = ()
 
 
 class Store:
@@ -94,6 +96,8 @@ class Store:
 
 
 class _Request(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, resource: "Resource", amount: int):
         super().__init__(resource.sim)
         self.amount = amount

@@ -1,0 +1,134 @@
+"""Determinism guarantees: repeat runs and the kernel fast path.
+
+Two properties the perf work must never erode:
+
+* the stack is bit-deterministic — the same seeded scenario run twice
+  produces identical checksums, simulated times, movement ledgers,
+  and event rings;
+* the zero-delay fast path in :class:`repro.sim.Simulator` is an
+  implementation detail — forcing the heap-only reference path via
+  ``REPRO_SLOW_KERNEL=1`` yields the exact same trace.
+"""
+
+from repro import bench
+from repro.engine import AggSpec, DataflowEngine, Query
+from repro.hardware import build_fabric, dataflow_spec
+from repro.obs import table_checksum
+from repro.relational import Catalog, col, make_lineitem, make_orders
+from repro.sim import Simulator
+
+ROWS = 2000
+
+
+def _catalog():
+    catalog = Catalog()
+    catalog.register("lineitem", make_lineitem(ROWS, orders=ROWS // 4,
+                                               chunk_rows=500))
+    catalog.register("orders", make_orders(ROWS // 4, chunk_rows=500))
+    return catalog
+
+
+def _query():
+    return (Query.scan("lineitem")
+            .filter(col("l_quantity") > 10)
+            .join(Query.scan("orders").filter(col("o_priority") <= 2),
+                  "l_orderkey", "o_orderkey")
+            .aggregate(["o_priority"],
+                       [AggSpec("sum", "l_extendedprice", "rev")]))
+
+
+def _run_once() -> dict:
+    """One full data-flow run, captured down to the event ring."""
+    fabric = build_fabric(dataflow_spec())
+    result = DataflowEngine(fabric, _catalog()).execute(_query())
+    return {
+        "checksum": table_checksum(result.table),
+        "sim_time_s": result.elapsed,
+        "ledger": fabric.trace.movement_ledger(),
+        "ring": [event.to_dict() for event in fabric.trace.events],
+    }
+
+
+def test_repeat_runs_are_bit_identical():
+    first, second = _run_once(), _run_once()
+    assert first["checksum"] == second["checksum"]
+    assert first["sim_time_s"] == second["sim_time_s"]
+    assert first["ledger"] == second["ledger"]
+    assert first["ring"] == second["ring"]
+
+
+def test_smoke_records_are_bit_identical():
+    """Harness-level repeat: everything but wall time matches."""
+    first = bench.run_smoke(rows=ROWS, only=["scheduler_mix"])[0]
+    second = bench.run_smoke(rows=ROWS, only=["scheduler_mix"])[0]
+    for key in sorted(set(first) | set(second)):
+        if key == "wall_time_s":
+            continue
+        assert first[key] == second[key], key
+
+
+def test_slow_kernel_flag_disables_fast_path(monkeypatch):
+    monkeypatch.delenv("REPRO_SLOW_KERNEL", raising=False)
+    assert Simulator().fast_path is True
+    monkeypatch.setenv("REPRO_SLOW_KERNEL", "1")
+    sim = Simulator()
+    assert sim.fast_path is False
+
+    def proc():
+        yield sim.timeout(0.0)
+        evt = sim.event()
+        evt.succeed("x")
+        value = yield evt
+        return value
+
+    # With the fast path off every event goes through the heap.
+    assert sim.run_process(proc()) == "x"
+    assert not sim._immediate
+
+
+def test_fast_and_slow_kernel_traces_identical(monkeypatch):
+    """The fast path must not change a single simulated quantity."""
+    monkeypatch.delenv("REPRO_SLOW_KERNEL", raising=False)
+    fast = _run_once()
+    monkeypatch.setenv("REPRO_SLOW_KERNEL", "1")
+    slow = _run_once()
+    assert fast["checksum"] == slow["checksum"]
+    assert fast["sim_time_s"] == slow["sim_time_s"]
+    assert fast["ledger"] == slow["ledger"]
+    assert fast["ring"] == slow["ring"]
+
+
+def test_fast_and_slow_smoke_scenarios_identical(monkeypatch):
+    """Guard at harness level too, over the join+agg scenario."""
+    monkeypatch.delenv("REPRO_SLOW_KERNEL", raising=False)
+    fast = bench.run_smoke(rows=ROWS, only=["join_agg"])[0]
+    monkeypatch.setenv("REPRO_SLOW_KERNEL", "1")
+    slow = bench.run_smoke(rows=ROWS, only=["join_agg"])[0]
+    for key in sorted(set(fast) | set(slow)):
+        if key == "wall_time_s":
+            continue
+        assert fast[key] == slow[key], key
+
+
+def test_kernel_orders_same_instant_events_by_schedule_order():
+    """Interleaved zero-delay and due-now heap events keep seq order."""
+    sim = Simulator()
+    order = []
+
+    def waiter(tag, evt):
+        value = yield evt
+        order.append((tag, sim.now, value))
+
+    def driver():
+        # A zero-delay timeout (heap on slow path, deque on fast) and
+        # a succeed() race at the same instant; sequence order wins.
+        t = sim.timeout(1.0, "t")
+        e = sim.event()
+        sim.process(waiter("a", t))
+        sim.process(waiter("b", e))
+        yield sim.timeout(1.0)
+        e.succeed("e")
+        yield sim.timeout(0.0)
+
+    sim.run_process(driver())
+    assert order == [("a", 1.0, "t"), ("b", 1.0, "e")]
