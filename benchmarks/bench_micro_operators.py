@@ -8,15 +8,19 @@ kernels.
 """
 
 import numpy as np
+import pytest
 
+from repro.engine.fusion import fuse_ops
 from repro.engine.logical import AggSpec
 from repro.engine.operators import (
     FilterOp,
     HashJoinBuild,
     HashJoinProbe,
     JoinState,
+    MapOp,
     PartialAggregate,
     PartitionOp,
+    ProjectOp,
     SortOp,
 )
 from repro.relational import (
@@ -24,6 +28,7 @@ from repro.relational import (
     Field,
     Schema,
     col,
+    lit,
     make_uniform_table,
 )
 
@@ -78,6 +83,59 @@ def test_micro_hash_join_probe_throughput(benchmark):
     result = benchmark(probe.process, small_probe)
     assert result and result[0].chunk.num_rows > 0
     benchmark.extra_info["probe_rows"] = 50_000
+
+
+def _pipeline_ops():
+    """A representative filter -> project -> map chain."""
+    out_schema = Schema([Field("k0", DataType.INT64),
+                         Field("k1", DataType.INT64),
+                         Field("score", DataType.FLOAT64)])
+    return [
+        FilterOp((col("k0") < 500) & (col("k1") > 100)),
+        ProjectOp(["k0", "k1"]),
+        MapOp({"score": col("k0") * lit(2.0) + col("k1")}, out_schema),
+    ]
+
+
+def _run_unfused(ops, chunk):
+    current = chunk
+    for op in ops:
+        emits = op.process(current)
+        if not emits:
+            return None
+        current = emits[0].chunk
+    return current
+
+
+def _run_fused(fused, chunk):
+    emits = fused.process(chunk)
+    return emits[0].chunk if emits else None
+
+
+@pytest.mark.parametrize("chunk_rows", [1_000, 10_000, 100_000])
+def test_micro_pipeline_unfused(benchmark, chunk_rows):
+    """Reference path: one dispatch and one intermediate per op."""
+    chunk = big_chunk().slice(0, chunk_rows)
+    ops = _pipeline_ops()
+    result = benchmark(_run_unfused, ops, chunk)
+    assert result is not None and result.num_rows > 0
+    benchmark.extra_info["rows"] = chunk_rows
+    benchmark.extra_info["variant"] = "unfused"
+
+
+@pytest.mark.parametrize("chunk_rows", [1_000, 10_000, 100_000])
+def test_micro_pipeline_fused(benchmark, chunk_rows):
+    """Fused path: one dispatch per morsel, lazy selection between
+    steps.  Compare against ``test_micro_pipeline_unfused`` at the
+    same chunk size for the fusion speedup."""
+    chunk = big_chunk().slice(0, chunk_rows)
+    ops = _pipeline_ops()
+    [fused] = fuse_ops(ops)
+    reference = _run_unfused(_pipeline_ops(), chunk)
+    result = benchmark(_run_fused, fused, chunk)
+    assert result.materialize().sorted_rows() == reference.sorted_rows()
+    benchmark.extra_info["rows"] = chunk_rows
+    benchmark.extra_info["variant"] = "fused"
 
 
 def test_micro_sort_throughput(benchmark):

@@ -167,6 +167,10 @@ def cmd_query(args) -> int:
         placement = pushdown(query.plan, fabric)
     else:
         placement = cpu_only(query.plan, fabric)
+    if args.plan:
+        graph = engine.compile(query, placement=placement)
+        _print_plan(graph, placement)
+        return 0
     result = engine.execute(query, placement=placement)
     print(f"placement: {placement.name}   rows out: {result.rows:,}")
     for segment, value in sorted(result.movement.items()):
@@ -178,6 +182,34 @@ def cmd_query(args) -> int:
     if args.ledger:
         _print_ledger(fabric.trace)
     return 0
+
+
+def _print_plan(graph, placement) -> None:
+    """Render the compiled stage graph with fusion-segment boundaries.
+
+    Each stage lists its operators; a fused segment shows its parts
+    indented under one header, so the boundaries where selection
+    views materialize (stage emits) are visible at a glance.
+    """
+    from .engine import describe_op
+    print(f"placement: {placement.name}   "
+          f"stages: {len(graph.stages)}")
+    for stage in graph.stages.values():
+        device = stage.device.name if stage.device else "-"
+        kind = "source" if stage.source_table is not None else (
+            "sink" if stage.is_sink else "stream")
+        print(f"\nstage {stage.name}  [{kind} @ {device}, "
+              f"router={stage.router}]")
+        if stage.source_table is not None:
+            print(f"  scan {stage.source_table.name} "
+                  f"({stage.source_table.num_rows:,} rows)")
+        for op in stage.ops:
+            for line in describe_op(op):
+                print(f"  {line}")
+        if stage.outputs:
+            print(f"  -> materialize at stage boundary "
+                  f"({len(stage.outputs)} output channel"
+                  f"{'s' if len(stage.outputs) != 1 else ''})")
 
 
 def _print_stalls(trace) -> None:
@@ -310,6 +342,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--spec", default="dataflow",
                        choices=["dataflow", "conventional"])
     query.add_argument("--zonemaps", action="store_true")
+    query.add_argument("--plan", action="store_true",
+                       help="print the compiled stage graph with "
+                            "fusion-segment boundaries instead of "
+                            "running the query")
     query.add_argument("--explain-stalls", action="store_true",
                        help="print per-stage stall attribution "
                             "(credit-starved / downstream-full / "

@@ -54,6 +54,7 @@ from .operators import (
     SortOp,
     SortRuns,
 )
+from .fusion import fuse_ops, fusion_enabled
 from .placement import Placement, pushdown
 from .results import QueryResult, TraceSnapshot
 
@@ -308,6 +309,13 @@ class DataflowEngine:
         tail = compiler.extend(branches, placement.result_site, [],
                                "gather")
         tail[0].is_sink = True
+        if fusion_enabled():
+            # Lower each stage's linear filter/project/map runs (and
+            # the partial aggregate they feed) into fused operators.
+            # Charges are reported per original part, so the stage
+            # graph's simulated behavior is bit-identical either way.
+            for stage in graph.stages.values():
+                stage.ops = fuse_ops(stage.ops)
         return graph
 
     def execute(self, plan, placement: Optional[Placement] = None,

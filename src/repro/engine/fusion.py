@@ -1,0 +1,231 @@
+"""Pipeline fusion: linear operator chains as one dispatch per morsel.
+
+The paper's streaming argument (§3.3) says operators should process
+data *along the movement path* without materialising at every hop.
+The engines already express that at the plan level; this module closes
+the gap at the execution level.  A maximal linear run of stateless
+streaming operators — ``Filter → Project → Map``, optionally
+terminated by the ``PartialAggregate`` the run feeds — lowers into a
+single :class:`FusedOp` whose ``process()`` walks a list of composed
+numpy closures built from each operator's ``Expression.compiled()``
+form.  Combined with the selection-vector views
+:meth:`repro.relational.table.Chunk.filter` returns, a fused segment
+moves one lazy view between steps and materialises only at segment
+boundaries (emit, partition, join build/probe, aggregate state
+update).
+
+Fusion is a *wall-clock* optimisation and must be invisible to the
+simulation.  :class:`FusedOp` therefore reports device work per
+original operator: ``charge_bytes`` is the first part's charge and
+``extra_charges`` replays the remaining parts' ``(kind, nbytes)``
+pairs — computed by actually running the fused pipeline, so the bytes
+charged for each part are the bytes of the chunk that part would have
+seen unfused, and a part that empties the stream stops the charges
+exactly where the unfused executor's early-exit would.  The pipeline
+result is memoised so the ``process()`` call that follows the charges
+does no second pass.
+
+``REPRO_NO_FUSE=1`` forces the reference (unfused) path, mirroring
+the kernel fast path's ``REPRO_SLOW_KERNEL``; the regression gate
+compares both at ``--tolerance 0``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..relational.table import Chunk
+from .operators import (
+    Emit,
+    FilterOp,
+    MapOp,
+    PartialAggregate,
+    PhysicalOp,
+    ProjectOp,
+)
+
+__all__ = ["FusedOp", "fuse_ops", "fusion_enabled", "describe_op"]
+
+#: Stateless 1-in/<=1-out streaming operators a fused run may contain.
+STREAM_OPS = (FilterOp, ProjectOp, MapOp)
+
+#: Operators that may terminate a run (consume the fused stream).
+TERMINAL_OPS = (PartialAggregate,)
+
+
+def fusion_enabled() -> bool:
+    """Whether compilation lowers chains into fused operators.
+
+    Read at compile time (not import time) so tests can flip the
+    environment per run — the same contract as ``REPRO_SLOW_KERNEL``.
+    """
+    return not os.environ.get("REPRO_NO_FUSE")
+
+
+def _filter_step(part: FilterOp) -> Callable[[Chunk], Optional[Chunk]]:
+    predicate = part._predicate_fn
+
+    def step(chunk: Chunk) -> Optional[Chunk]:
+        out = chunk.filter(np.asarray(predicate(chunk), dtype=bool))
+        return out if out.num_rows else None
+    return step
+
+
+def _project_step(part: ProjectOp) -> Callable[[Chunk], Optional[Chunk]]:
+    names = list(part.columns)
+    return lambda chunk: chunk.project(names)
+
+
+def _map_step(part: MapOp) -> Callable[[Chunk], Optional[Chunk]]:
+    expr_fns = list(part._expr_fns)
+    schema = part.output_schema
+
+    def step(chunk: Chunk) -> Optional[Chunk]:
+        columns = dict(chunk.columns)
+        for name, fn in expr_fns:
+            columns[name] = np.asarray(fn(chunk), dtype=np.float64)
+        return Chunk(schema, columns)
+    return step
+
+
+def _generic_step(part: PhysicalOp) -> Callable[[Chunk], Optional[Chunk]]:
+    """Fallback for terminal parts: unwrap the single-emit process."""
+    def step(chunk: Chunk) -> Optional[Chunk]:
+        emits = part.process(chunk)
+        return emits[0].chunk if emits else None
+    return step
+
+
+def _compile_step(part: PhysicalOp) -> Callable[[Chunk], Optional[Chunk]]:
+    if isinstance(part, FilterOp):
+        return _filter_step(part)
+    if isinstance(part, ProjectOp):
+        return _project_step(part)
+    if isinstance(part, MapOp):
+        return _map_step(part)
+    return _generic_step(part)
+
+
+class FusedOp(PhysicalOp):
+    """A linear chain of streaming operators run as one dispatch.
+
+    ``process()`` threads one chunk through the composed step
+    closures; intermediate results are lazy selection views, so a
+    filter followed by a projection gathers only the surviving rows
+    of the kept columns, once.  The simulation sees the chain
+    unfused: one ``(kind, nbytes)`` charge per original part, against
+    the bytes that part's input would have had.
+    """
+
+    def __init__(self, parts: Sequence[PhysicalOp]):
+        parts = list(parts)
+        if len(parts) < 2:
+            raise ValueError("fusion needs at least two operators")
+        for part in parts[:-1]:
+            if not isinstance(part, STREAM_OPS):
+                raise ValueError(
+                    f"cannot fuse non-streaming operator {part.name!r}")
+        if not isinstance(parts[-1], STREAM_OPS + TERMINAL_OPS):
+            raise ValueError(
+                f"cannot fuse trailing operator {parts[-1].name!r}")
+        self.parts = parts
+        self.kind = parts[0].kind
+        self.name = "fused[" + " -> ".join(p.name for p in parts) + "]"
+        self._steps = [(part, _compile_step(part)) for part in parts]
+        # One-slot memo: the executor charges (running the pipeline)
+        # and then calls process() on the same chunk object.
+        self._memo_chunk: Optional[Chunk] = None
+        self._memo_out: Optional[Chunk] = None
+
+    def fused_parts(self) -> list[PhysicalOp]:
+        return list(self.parts)
+
+    def _run(self, chunk: Chunk,
+             charges: Optional[list[tuple[str, float]]]) -> Optional[Chunk]:
+        """Thread ``chunk`` through the steps, recording part charges.
+
+        The first part's charge is ``charge_bytes`` (reported by the
+        executor separately), so recording starts at the second part —
+        and stops as soon as a step returns nothing, matching the
+        unfused executor, which never charges an operator whose input
+        never arrived.
+        """
+        if chunk.num_rows == 0:
+            return None
+        current: Optional[Chunk] = chunk
+        first = True
+        for part, step in self._steps:
+            if first:
+                first = False
+            else:
+                if charges is not None:
+                    charges.append((part.kind, float(current.nbytes)))
+            current = step(current)
+            if current is None:
+                return None
+        return current
+
+    def charge_bytes(self, chunk: Chunk) -> float:
+        return self.parts[0].charge_bytes(chunk)
+
+    def extra_charges(self, chunk: Chunk) -> list[tuple[str, float]]:
+        charges: list[tuple[str, float]] = []
+        self._memo_chunk = chunk
+        self._memo_out = self._run(chunk, charges)
+        return charges
+
+    def process(self, chunk: Chunk) -> list[Emit]:
+        if chunk is self._memo_chunk:
+            out = self._memo_out
+            self._memo_chunk = self._memo_out = None
+        else:
+            out = self._run(chunk, None)
+        if out is None:
+            return []
+        return [Emit(out)]
+
+
+def fuse_ops(ops: Sequence[PhysicalOp]) -> list[PhysicalOp]:
+    """Rewrite an operator chain, fusing maximal linear runs.
+
+    A run is a maximal stretch of streaming operators
+    (filter/project/map), optionally extended by the terminal
+    operator it feeds (partial aggregation).  Runs of length >= 2
+    become one :class:`FusedOp`; everything else passes through
+    unchanged, in order.
+    """
+    fused: list[PhysicalOp] = []
+    run: list[PhysicalOp] = []
+
+    def close(run: list[PhysicalOp]) -> None:
+        if len(run) >= 2:
+            fused.append(FusedOp(run))
+        else:
+            fused.extend(run)
+
+    for op in ops:
+        if isinstance(op, STREAM_OPS):
+            run.append(op)
+        elif run and isinstance(op, TERMINAL_OPS):
+            run.append(op)
+            close(run)
+            run = []
+        else:
+            close(run)
+            run = []
+            fused.append(op)
+    close(run)
+    return fused
+
+
+def describe_op(op: PhysicalOp) -> list[str]:
+    """Display lines for one op: fused ops list their parts indented."""
+    if isinstance(op, FusedOp):
+        lines = [f"fused segment ({len(op.parts)} ops, "
+                 f"one dispatch per morsel):"]
+        lines += [f"  | {part.name}" for part in op.parts]
+        return lines
+    return [op.name]

@@ -88,6 +88,13 @@ class PhysicalOp:
         """
         return []
 
+    def fused_parts(self) -> list["PhysicalOp"]:
+        """The original operators this op stands for (itself, unless
+        fused).  Kernel installation iterates these so a programmable
+        device is configured per original operator — fusion must not
+        change what gets installed or what that costs."""
+        return [self]
+
     def __repr__(self):
         return f"<{type(self).__name__} {self.name}>"
 
@@ -187,6 +194,29 @@ class PartitionOp(PhysicalOp):
 # Aggregation
 # ---------------------------------------------------------------------------
 
+def _unique_inverse(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``np.unique(values, return_inverse=True)``, faster for dense ints.
+
+    Integer keys whose value range is comparable to the row count
+    (orderkeys, priorities, partition ids) take a counting path: one
+    ``bincount`` plus two gathers instead of a sort.  The outputs are
+    identical — unique values ascending, inverse indices into them.
+    """
+    n = len(values)
+    if n and values.dtype.kind == "i":
+        lo = int(values.min())
+        hi = int(values.max())
+        span = hi - lo + 1
+        if span <= max(1024, 4 * n):
+            offsets = values - lo
+            counts = np.bincount(offsets, minlength=span)
+            present = np.flatnonzero(counts)
+            remap = np.empty(span, dtype=np.int64)
+            remap[present] = np.arange(len(present), dtype=np.int64)
+            return present + lo, remap[offsets]
+    return np.unique(values, return_inverse=True)
+
+
 def group_inverse(chunk: Chunk,
                   group_by: Sequence[str]) -> tuple[Chunk, np.ndarray]:
     """Distinct group rows of a chunk plus each row's group index."""
@@ -199,8 +229,8 @@ def group_inverse(chunk: Chunk,
         # ascending, like the structured-record path, so groups and
         # inverse indices are identical) without building records.
         g = group_by[0]
-        unique, inverse = np.unique(chunk.columns[g],
-                                    return_inverse=True)
+        values = chunk.columns[g]
+        unique, inverse = _unique_inverse(values)
         groups = Chunk(chunk.schema.project([g]), {g: unique})
         return groups, inverse.astype(np.int64)
     dtype = [(g, chunk.columns[g].dtype) for g in group_by]

@@ -38,6 +38,7 @@ from .logical import (
     Scan,
     Sort,
 )
+from .fusion import fuse_ops, fusion_enabled
 from .operators import (
     FilterOp,
     HashJoinBuild,
@@ -105,7 +106,13 @@ class _StreamIter(_Iterator):
             chunk = yield from self.child.next()
             if chunk is None:
                 return None
-            yield from self.engine.charge(self.op.kind, chunk.nbytes)
+            yield from self.engine.charge(self.op.kind,
+                                          self.op.charge_bytes(chunk))
+            # Fused chains report their inner parts' work here; plain
+            # streaming ops report nothing extra.  Either way the CPU
+            # is charged exactly what the unfused chain would be.
+            for kind, nbytes in self.op.extra_charges(chunk):
+                yield from self.engine.charge(kind, nbytes)
             emits = self.op.process(chunk)
             if emits:
                 # Streaming ops used here are 1-in/<=1-out.
@@ -272,28 +279,56 @@ class VolcanoEngine:
 
     # -- plan construction -----------------------------------------------------
 
-    def _build(self, node: PlanNode) -> _Iterator:
-        if isinstance(node, Scan):
-            return _ScanIter(self, node)
+    def _stream_op(self, node: PlanNode):
+        """The streaming operator for a fusable plan node, else None."""
         if isinstance(node, Filter):
-            if self.use_zonemaps and isinstance(node.child, Scan):
+            return FilterOp(node.predicate)
+        if isinstance(node, Project):
+            return ProjectOp(node.columns)
+        if isinstance(node, Map):
+            return MapOp(node.exprs, node.output_schema(self.catalog))
+        return None
+
+    def _build_stream_chain(self, node: PlanNode) -> _Iterator:
+        """A maximal Filter/Project/Map chain, fused when enabled.
+
+        Walks down consecutive streaming nodes, handles the zone-map
+        pruned Filter-over-Scan at the bottom of the chain, then wraps
+        the child iterator with the (possibly fused) operator chain —
+        one :class:`_StreamIter` per lowered operator.
+        """
+        ops = []
+        skip: Optional[set[int]] = None
+        while True:
+            op = self._stream_op(node)
+            if op is None:
+                break
+            ops.append(op)
+            if (isinstance(node, Filter) and self.use_zonemaps
+                    and isinstance(node.child, Scan)):
                 # Zone-map pruning (§2.1): skip chunks whose min/max
                 # bounds refute the predicate; the filter still runs
                 # over surviving chunks for correctness.
                 from ..relational.zonemaps import prunable_chunks
                 zonemap = self.catalog.zonemap(node.child.table)
                 skip = prunable_chunks(zonemap, node.predicate)
-                scan = _ScanIter(self, node.child, skip=skip)
-                return _StreamIter(self, scan, FilterOp(node.predicate))
-            return _StreamIter(self, self._build(node.child),
-                               FilterOp(node.predicate))
-        if isinstance(node, Project):
-            return _StreamIter(self, self._build(node.child),
-                               ProjectOp(node.columns))
-        if isinstance(node, Map):
-            return _StreamIter(self, self._build(node.child),
-                               MapOp(node.exprs,
-                                     node.output_schema(self.catalog)))
+            node = node.child
+        ops.reverse()
+        if skip is not None:
+            child: _Iterator = _ScanIter(self, node, skip=skip)
+        else:
+            child = self._build(node)
+        if fusion_enabled():
+            ops = fuse_ops(ops)
+        for op in ops:
+            child = _StreamIter(self, child, op)
+        return child
+
+    def _build(self, node: PlanNode) -> _Iterator:
+        if isinstance(node, Scan):
+            return _ScanIter(self, node)
+        if isinstance(node, (Filter, Project, Map)):
+            return self._build_stream_chain(node)
         if isinstance(node, Limit):
             return _StreamIter(self, self._build(node.child),
                                LimitOp(node.n))

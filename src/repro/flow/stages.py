@@ -111,14 +111,18 @@ class Stage:
             install_kernel,
         )
         for op in self.ops:
-            try:
-                kernel = compile_kernel(op)
-            except KernelUnsupported as exc:
-                raise RuntimeError(
-                    f"stage {self.name!r}: operator {op.name!r} cannot "
-                    f"run on programmable device "
-                    f"{self.device.name!r}: {exc}") from exc
-            yield from install_kernel(self.device, kernel)
+            # Fused ops install per original part: the register writes
+            # and logic bits (and their simulated cost) are a property
+            # of the operators, not of how the host batches them.
+            for part in op.fused_parts():
+                try:
+                    kernel = compile_kernel(part)
+                except KernelUnsupported as exc:
+                    raise RuntimeError(
+                        f"stage {self.name!r}: operator {part.name!r} "
+                        f"cannot run on programmable device "
+                        f"{self.device.name!r}: {exc}") from exc
+                yield from install_kernel(self.device, kernel)
 
     def _run_source(self) -> Generator:
         for chunk in self.source_table.chunks:
@@ -214,6 +218,10 @@ class Stage:
             if self.is_sink or not self.outputs:
                 self.collected.append(emit.chunk)
                 continue
+            # Emit is a fusion-segment boundary: settle lazy selection
+            # views here so laziness never crosses a channel (the
+            # consumer would re-gather per column otherwise).
+            emit.chunk = emit.chunk.materialize()
             nbytes = float(emit.chunk.nbytes)
             if self.router == "single":
                 yield from self.outputs[0].send(emit.chunk, nbytes)

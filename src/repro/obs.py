@@ -66,18 +66,41 @@ def _canonical_cell(value) -> str:
     return str(value)
 
 
+def _canonical_column(values) -> list[str]:
+    """One column rendered cell-by-cell, with per-dtype fast paths.
+
+    Produces exactly the strings :func:`_canonical_cell` would for
+    each element's python form (``tolist``), without the per-cell
+    isinstance dispatch.
+    """
+    kind = values.dtype.kind
+    if kind == "f":
+        fmt = f".{CHECKSUM_FLOAT_DIGITS}g"
+        return ["nan" if v != v else format(v, fmt)
+                for v in values.tolist()]
+    if kind == "U":
+        return values.tolist()
+    if kind in "iu":
+        return [str(v) for v in values.tolist()]
+    return [_canonical_cell(v) for v in values.tolist()]
+
+
 def table_checksum(table) -> str:
     """SHA-256 over a canonical, order-insensitive table rendering.
 
     Two engines that return the same rows (up to float summation
     order) produce the same checksum; a dropped row, a wrong value, or
-    a changed schema produces a different one.
+    a changed schema produces a different one.  Rows are rendered
+    column-at-a-time and ordered by their final string form — the
+    same digest the original row-at-a-time rendering produced, since
+    the string sort is what fixed the hashed order.
     """
     digest = hashlib.sha256()
-    digest.update(_CELL_SEP.join(table.schema.names).encode())
-    rows = [_CELL_SEP.join(_canonical_cell(v) for v in row)
-            for row in table.sorted_rows()]
-    rows.sort()  # canonical order even if sorted_rows changes policy
+    names = table.schema.names
+    digest.update(_CELL_SEP.join(names).encode())
+    columns = [_canonical_column(table.column(name)) for name in names]
+    rows = [_CELL_SEP.join(cells) for cells in zip(*columns)]
+    rows.sort()  # canonical order, independent of row layout
     digest.update(_ROW_SEP.join(rows).encode())
     return digest.hexdigest()
 

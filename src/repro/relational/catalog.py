@@ -1,15 +1,20 @@
 """The catalog: named tables plus the statistics the optimizer uses.
 
-Statistics are computed exactly at registration time (the data is
-synthetic and in memory, so there is no reason to sample).  The
-optimizer combines them with expression selectivities to predict the
-bytes flowing across each plan edge (§7.1's movement-first costing).
+Statistics are exact (the data is synthetic and in memory, so there
+is no reason to sample) but computed *lazily per column*: registering
+a table records only its row and byte counts, and a column's min/max/
+distinct are derived on first access — the optimizer only ever asks
+about the handful of columns its predicates and keys mention, so the
+other columns never pay their ``np.unique``.  The optimizer combines
+them with expression selectivities to predict the bytes flowing
+across each plan edge (§7.1's movement-first costing).
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Optional
 
 import numpy as np
 
@@ -47,27 +52,81 @@ class TableStats:
     def row_nbytes(self) -> float:
         return self.nbytes / self.rows if self.rows else 0.0
 
-    def column_dict(self) -> dict[str, dict]:
-        """Per-column stats dicts keyed by name, for expressions."""
-        return {name: c.as_dict() for name, c in self.columns.items()}
+    def column_dict(self) -> Mapping:
+        """Per-column stats dicts keyed by name, for expressions.
+
+        Lazy like :attr:`columns`: the stats of a column are computed
+        (and its dict built) only when an expression looks it up.
+        """
+        return _LazyColumnDicts(self.columns)
+
+
+def _column_stats(table: Table, f) -> ColumnStats:
+    """Exact statistics for one column of ``table``."""
+    values = table.column(f.name)
+    if f.dtype in (DataType.INT64, DataType.FLOAT64):
+        lo = float(values.min()) if len(values) else None
+        hi = float(values.max()) if len(values) else None
+    else:
+        lo = hi = None
+    if not len(values):
+        distinct = 0
+    elif f.dtype == DataType.STRING:
+        # Hashing beats np.unique's sort for fixed-width strings.
+        distinct = len(set(values.tolist()))
+    else:
+        distinct = len(np.unique(values))
+    return ColumnStats(name=f.name, dtype=f.dtype, min=lo, max=hi,
+                       distinct=distinct, value_nbytes=f.value_nbytes)
+
+
+class _LazyColumnStats(Mapping):
+    """Per-column :class:`ColumnStats`, computed on first access."""
+
+    def __init__(self, table: Table):
+        self._table = table
+        self._fields = {f.name: f for f in table.schema.fields}
+        self._cache: dict[str, ColumnStats] = {}
+
+    def __getitem__(self, name: str) -> ColumnStats:
+        stats = self._cache.get(name)
+        if stats is None:
+            stats = _column_stats(self._table, self._fields[name])
+            self._cache[name] = stats
+        return stats
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._fields)
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+
+class _LazyColumnDicts(Mapping):
+    """``column_dict()`` form of a lazy stats mapping."""
+
+    def __init__(self, columns: Mapping):
+        self._columns = columns
+        self._cache: dict[str, dict] = {}
+
+    def __getitem__(self, name: str) -> dict:
+        entry = self._cache.get(name)
+        if entry is None:
+            entry = self._columns[name].as_dict()
+            self._cache[name] = entry
+        return entry
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._columns)
+
+    def __len__(self) -> int:
+        return len(self._columns)
 
 
 def compute_stats(table: Table) -> TableStats:
-    """Exact statistics for a table."""
-    columns = {}
-    for f in table.schema.fields:
-        values = table.column(f.name)
-        if f.dtype in (DataType.INT64, DataType.FLOAT64):
-            lo = float(values.min()) if len(values) else None
-            hi = float(values.max()) if len(values) else None
-        else:
-            lo = hi = None
-        distinct = len(np.unique(values)) if len(values) else 0
-        columns[f.name] = ColumnStats(
-            name=f.name, dtype=f.dtype, min=lo, max=hi,
-            distinct=distinct, value_nbytes=f.value_nbytes)
+    """Exact statistics for a table (columns computed lazily)."""
     return TableStats(rows=table.num_rows, nbytes=table.nbytes,
-                      columns=columns)
+                      columns=_LazyColumnStats(table))
 
 
 class Catalog:

@@ -65,14 +65,10 @@ def random_strings(rng: np.random.Generator, n: int, words: int = 4,
     """
     pool = min(pool, max(1, n))
     picks = rng.integers(0, len(_WORDS), size=(pool, words))
-    # Vectorized join: concatenate word columns with separators in C,
-    # then let the <U{width} cast truncate — identical strings to a
-    # per-row ``" ".join(...)[:width]``.
-    chosen = np.asarray(_WORDS)[picks]
-    phrases = chosen[:, 0]
-    for i in range(1, words):
-        phrases = np.char.add(np.char.add(phrases, " "), chosen[:, i])
-    phrases = phrases.astype(f"<U{width}")
+    # The <U{width} dtype truncates each joined phrase, identical to
+    # a per-row ``" ".join(...)[:width]``.
+    phrases = np.array([" ".join([_WORDS[j] for j in row])
+                        for row in picks.tolist()], dtype=f"<U{width}")
     return phrases[rng.integers(0, pool, size=n)]
 
 

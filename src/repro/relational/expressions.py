@@ -157,6 +157,25 @@ def _wrap(value) -> "Expression":
     return value if isinstance(value, Expression) else Const(value)
 
 
+def _compile_binary(ufunc, left: "Expression",
+                    right: "Expression") -> Callable[[Chunk], np.ndarray]:
+    """A closure for ``ufunc(left, right)`` with literals bound raw.
+
+    A :class:`Const` operand broadcasts as a python scalar instead of
+    the ``np.full`` array ``evaluate`` builds — the ufunc result is
+    the same array, minus one temporary per chunk.  (Both-const stays
+    on the array path so the output keeps the chunk's row count.)
+    """
+    if isinstance(right, Const) and not isinstance(left, Const):
+        left_fn, value = left.compiled(), right.value
+        return lambda chunk: ufunc(left_fn(chunk), value)
+    if isinstance(left, Const) and not isinstance(right, Const):
+        value, right_fn = left.value, right.compiled()
+        return lambda chunk: ufunc(value, right_fn(chunk))
+    left_fn, right_fn = left.compiled(), right.compiled()
+    return lambda chunk: ufunc(left_fn(chunk), right_fn(chunk))
+
+
 class Col(Expression):
     """A column reference."""
 
@@ -217,9 +236,7 @@ class Compare(Expression):
                                   self.right.evaluate(chunk))
 
     def _compile(self) -> Callable[[Chunk], np.ndarray]:
-        ufunc = self._OPS[self.op]
-        left, right = self.left.compiled(), self.right.compiled()
-        return lambda chunk: ufunc(left(chunk), right(chunk))
+        return _compile_binary(self._OPS[self.op], self.left, self.right)
 
     def required_columns(self) -> set[str]:
         return self.left.required_columns() | self.right.required_columns()
@@ -267,9 +284,7 @@ class Arith(Expression):
                                   self.right.evaluate(chunk))
 
     def _compile(self) -> Callable[[Chunk], np.ndarray]:
-        ufunc = self._OPS[self.op]
-        left, right = self.left.compiled(), self.right.compiled()
-        return lambda chunk: ufunc(left(chunk), right(chunk))
+        return _compile_binary(self._OPS[self.op], self.left, self.right)
 
     def required_columns(self) -> set[str]:
         return self.left.required_columns() | self.right.required_columns()
@@ -415,6 +430,13 @@ class Between(Expression):
 
     def _compile(self) -> Callable[[Chunk], np.ndarray]:
         operand = self.operand.compiled()
+        if isinstance(self.low, Const) and isinstance(self.high, Const):
+            lo, hi = self.low.value, self.high.value
+
+            def run(chunk: Chunk) -> np.ndarray:
+                values = operand(chunk)
+                return np.logical_and(values >= lo, values <= hi)
+            return run
         low, high = self.low.compiled(), self.high.compiled()
 
         def run(chunk: Chunk) -> np.ndarray:

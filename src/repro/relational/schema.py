@@ -8,11 +8,22 @@ simulated cost, so ``Field.value_nbytes`` must be exact.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, Sequence
 
 import numpy as np
 
 __all__ = ["DataType", "Field", "Schema"]
+
+
+@lru_cache(maxsize=None)
+def _numpy_dtype(dtype: str, width: int) -> np.dtype:
+    """One shared ``np.dtype`` per declared (type, width) pair."""
+    if dtype == DataType.STRING:
+        return np.dtype(f"<U{width}")
+    if dtype in DataType._NUMPY:
+        return np.dtype(DataType._NUMPY[dtype])
+    raise ValueError(f"unknown data type {dtype!r}")
 
 
 class DataType:
@@ -29,12 +40,8 @@ class DataType:
 
     @classmethod
     def numpy_dtype(cls, dtype: str, width: int = 32):
-        """The numpy dtype for a declared column type."""
-        if dtype == cls.STRING:
-            return np.dtype(f"<U{width}")
-        if dtype in cls._NUMPY:
-            return np.dtype(cls._NUMPY[dtype])
-        raise ValueError(f"unknown data type {dtype!r}")
+        """The numpy dtype for a declared column type (shared/cached)."""
+        return _numpy_dtype(dtype, width)
 
 
 @dataclass(frozen=True)
@@ -70,6 +77,7 @@ class Schema:
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate column names in {names}")
         self._by_name = {f.name: f for f in self.fields}
+        self._names = names
 
     @classmethod
     def of(cls, *specs: tuple) -> "Schema":
@@ -84,7 +92,8 @@ class Schema:
 
     @property
     def names(self) -> list[str]:
-        return [f.name for f in self.fields]
+        """Column names in order (shared list — do not mutate)."""
+        return self._names
 
     def field(self, name: str) -> Field:
         if name not in self._by_name:

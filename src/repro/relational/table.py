@@ -12,6 +12,7 @@ catalog stores and what scans iterate over.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from typing import Iterable, Iterator, Optional, Sequence
 
 import numpy as np
@@ -19,6 +20,50 @@ import numpy as np
 from .schema import Field, Schema
 
 __all__ = ["Chunk", "Table"]
+
+
+class _SelectionColumns(Mapping):
+    """Columns viewed through a selection index, gathered lazily.
+
+    Backs a chunk in selection-vector mode: ``base`` holds the dense
+    parent columns, ``sel`` the row indices this view selects.  A
+    column is gathered (``base[name][sel]``) only when first read and
+    cached, so fused pipeline stages that never touch a column never
+    pay for it.  Iteration (``dict(...)``, ``.items()``) gathers every
+    column — exactly the materialisation a fusion-segment boundary
+    needs.
+    """
+
+    __slots__ = ("names", "base", "sel", "_cache")
+
+    def __init__(self, names: tuple[str, ...], base: dict[str, np.ndarray],
+                 sel: np.ndarray):
+        self.names = names
+        self.base = base
+        self.sel = sel
+        self._cache: dict[str, np.ndarray] = {}
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        column = self._cache.get(name)
+        if column is None:
+            if name not in self.names:
+                raise KeyError(name)
+            column = self.base[name][self.sel]
+            self._cache[name] = column
+        return column
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names)
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes the gathered columns occupy — without gathering."""
+        rows = len(self.sel)
+        return sum(rows * self.base[name].dtype.itemsize
+                   for name in self.names)
 
 
 class Chunk:
@@ -39,6 +84,10 @@ class Chunk:
             for name in schema.names
         }
 
+    # A dense chunk has ``_sel is None``; a selection-vector view set
+    # by :meth:`_view` carries the lazy index instead.
+    _sel: Optional[np.ndarray] = None
+
     # -- construction ------------------------------------------------------
 
     @classmethod
@@ -53,6 +102,22 @@ class Chunk:
         chunk = cls.__new__(cls)
         chunk.schema = schema
         chunk.columns = columns
+        return chunk
+
+    @classmethod
+    def _view(cls, schema: Schema, base: dict[str, np.ndarray],
+              sel: np.ndarray) -> "Chunk":
+        """A zero-copy selection view over dense ``base`` columns.
+
+        Nothing is gathered until a column is read; ``num_rows`` and
+        ``nbytes`` come straight from the selection index, so charging
+        a lazy chunk costs the same bytes as charging its
+        materialised form.
+        """
+        chunk = cls.__new__(cls)
+        chunk.schema = schema
+        chunk.columns = _SelectionColumns(tuple(schema.names), base, sel)
+        chunk._sel = sel
         return chunk
 
     @classmethod
@@ -82,11 +147,15 @@ class Chunk:
     def num_rows(self) -> int:
         if not self.schema.names:
             return 0
+        if self._sel is not None:
+            return len(self._sel)
         return len(self.columns[self.schema.names[0]])
 
     @property
     def nbytes(self) -> int:
         """Exact bytes of column data (drives simulated movement)."""
+        if self._sel is not None:
+            return self.columns.nbytes
         return sum(col.nbytes for col in self.columns.values())
 
     def column(self, name: str) -> np.ndarray:
@@ -104,34 +173,68 @@ class Chunk:
         """Keep only ``names``, in order."""
         names = list(names)
         schema = self.schema.project(names)
+        if self._sel is not None:
+            return Chunk._view(schema, self.columns.base, self._sel)
         return Chunk._from_valid(schema,
                                  {n: self.columns[n] for n in names})
 
     def filter(self, mask: np.ndarray) -> "Chunk":
-        """Rows where ``mask`` is true."""
+        """Rows where ``mask`` is true — a lazy selection view.
+
+        Nothing is copied: the result carries a selection index over
+        this chunk's dense columns, gathered column-by-column only
+        when read.  Chained filters compose their indices instead of
+        materialising between stages.
+        """
         if len(mask) != self.num_rows:
             raise ValueError("mask length mismatch")
-        return Chunk._from_valid(
-            self.schema,
-            {n: col[mask] for n, col in self.columns.items()})
+        if self._sel is not None:
+            return Chunk._view(self.schema, self.columns.base,
+                               self._sel[mask])
+        return Chunk._view(self.schema, self.columns, np.flatnonzero(mask))
 
     def take(self, indices: np.ndarray) -> "Chunk":
         """Rows at ``indices`` (may repeat / reorder)."""
+        if self._sel is not None:
+            return Chunk._view(self.schema, self.columns.base,
+                               self._sel[indices])
         return Chunk._from_valid(
             self.schema,
             {n: col[indices] for n, col in self.columns.items()})
 
     def slice(self, start: int, stop: int) -> "Chunk":
+        if self._sel is not None:
+            return Chunk._view(self.schema, self.columns.base,
+                               self._sel[start:stop])
         return Chunk._from_valid(
             self.schema,
             {n: col[start:stop] for n, col in self.columns.items()})
 
+    def materialize(self) -> "Chunk":
+        """This chunk with every column gathered into dense storage.
+
+        Dense chunks return themselves; selection views gather each
+        column once (through the view's cache) and drop the index.
+        Fusion-segment boundaries — emit onto a channel, partition,
+        join build/probe, aggregate state update, table assembly —
+        call this so laziness never escapes a pipeline segment.
+        """
+        if self._sel is None:
+            return self
+        return Chunk._from_valid(
+            self.schema, {n: self.columns[n] for n in self.schema.names})
+
     def with_column(self, field: Field, values: np.ndarray) -> "Chunk":
         """A new chunk with one extra column appended."""
+        values = np.asarray(values, dtype=field.numpy_dtype)
+        if len(values) != self.num_rows:
+            raise ValueError(
+                f"ragged columns: lengths "
+                f"{sorted({self.num_rows, len(values)})}")
         schema = Schema(self.schema.fields + [field])
         columns = dict(self.columns)
         columns[field.name] = values
-        return Chunk(schema, columns)
+        return Chunk._from_valid(schema, columns)
 
     def rename(self, mapping: dict[str, str]) -> "Chunk":
         """A new chunk with columns renamed per ``mapping``."""
@@ -140,7 +243,7 @@ class Chunk:
         schema = Schema(fields)
         columns = {mapping.get(n, n): col
                    for n, col in self.columns.items()}
-        return Chunk(schema, columns)
+        return Chunk._from_valid(schema, columns)
 
     # -- test/oracle helpers ---------------------------------------------------
 
@@ -189,7 +292,9 @@ class Table:
             raise ValueError(
                 f"chunk schema {chunk.schema.names} does not match "
                 f"table schema {self.schema.names}")
-        self._chunks.append(chunk)
+        # Tables are long-lived; a lazy selection view appended here
+        # would re-gather on every read, so settle it once.
+        self._chunks.append(chunk.materialize())
 
     @property
     def chunks(self) -> list[Chunk]:

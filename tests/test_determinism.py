@@ -7,7 +7,10 @@ Two properties the perf work must never erode:
   and event rings;
 * the zero-delay fast path in :class:`repro.sim.Simulator` is an
   implementation detail — forcing the heap-only reference path via
-  ``REPRO_SLOW_KERNEL=1`` yields the exact same trace.
+  ``REPRO_SLOW_KERNEL=1`` yields the exact same trace;
+* pipeline fusion is likewise an implementation detail — forcing the
+  unfused reference path via ``REPRO_NO_FUSE=1`` yields the exact
+  same trace (see ``tests/test_fusion.py`` for the full matrix).
 """
 
 from repro import bench
@@ -108,6 +111,30 @@ def test_fast_and_slow_smoke_scenarios_identical(monkeypatch):
         if key == "wall_time_s":
             continue
         assert fast[key] == slow[key], key
+
+
+def test_fused_and_unfused_traces_identical(monkeypatch):
+    """Fusion must not change a single simulated quantity."""
+    monkeypatch.delenv("REPRO_NO_FUSE", raising=False)
+    fused = _run_once()
+    monkeypatch.setenv("REPRO_NO_FUSE", "1")
+    unfused = _run_once()
+    assert fused["checksum"] == unfused["checksum"]
+    assert fused["sim_time_s"] == unfused["sim_time_s"]
+    assert fused["ledger"] == unfused["ledger"]
+    assert fused["ring"] == unfused["ring"]
+
+
+def test_fused_and_unfused_smoke_scenarios_identical(monkeypatch):
+    """Guard at harness level too, over the join+agg scenario."""
+    monkeypatch.delenv("REPRO_NO_FUSE", raising=False)
+    fused = bench.run_smoke(rows=ROWS, only=["join_agg"])[0]
+    monkeypatch.setenv("REPRO_NO_FUSE", "1")
+    unfused = bench.run_smoke(rows=ROWS, only=["join_agg"])[0]
+    for key in sorted(set(fused) | set(unfused)):
+        if key == "wall_time_s":
+            continue
+        assert fused[key] == unfused[key], key
 
 
 def test_kernel_orders_same_instant_events_by_schedule_order():
