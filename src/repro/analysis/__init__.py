@@ -1,0 +1,55 @@
+"""Post-hoc analysis of simulated runs (critical path, what-if).
+
+Three layers on top of the observability substrate:
+
+* :mod:`critical_path` — walk a query's event/span window and
+  attribute every instant of simulated time to a
+  ``device | link | wait-reason`` bucket, with the bucket sums
+  reconciling *exactly* (rational arithmetic) to the query's elapsed
+  time.
+* :mod:`whatif` — the causal profiler: re-run the deterministic
+  simulation with one resource scaled at a time and measure the real
+  speedup, COZ-style but exact because the simulator is a model we
+  can actually perturb.
+* :mod:`report` — self-contained HTML attribution report plus the
+  ``repro.whatif/v1`` JSON artifact for CI.
+"""
+
+from .critical_path import Attribution, attribute, attribute_query
+from .scenarios import (
+    SCENARIOS,
+    Scenario,
+    ScenarioRun,
+    run_digest,
+    run_scenario,
+)
+from .whatif import (
+    DEFAULT_FACTORS,
+    OFFPATH_GAIN,
+    WHATIF_SCHEMA,
+    optimizer_crosscheck,
+    parse_vary,
+    run_whatif,
+    whatif_violations,
+)
+from .report import render_report, write_report
+
+__all__ = [
+    "Attribution",
+    "attribute",
+    "attribute_query",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioRun",
+    "run_digest",
+    "run_scenario",
+    "DEFAULT_FACTORS",
+    "OFFPATH_GAIN",
+    "WHATIF_SCHEMA",
+    "optimizer_crosscheck",
+    "parse_vary",
+    "run_whatif",
+    "whatif_violations",
+    "render_report",
+    "write_report",
+]

@@ -171,6 +171,12 @@ def _run_query_scenario(name: str, query: Query, rows: int,
     # snapshot is the scenario's headline movement/utilization.
     record.update({k: v for k, v in fabric_snapshot(fabric_d).items()
                    if k != "sim_time_s"})
+    # Exact critical-path attribution of the data-flow run: every
+    # simulated nanosecond in a (device | link | wait) bucket, with
+    # the "exact" flag asserting reconciliation against elapsed.
+    from .analysis import attribute_query
+    record["attribution"] = attribute_query(fabric_d.trace,
+                                            res_d).to_dict()
     if not record["agree"]:
         raise AssertionError(
             f"smoke scenario {name!r}: engine results disagree "
@@ -211,6 +217,9 @@ def _run_conventional_scan(rows: int) -> dict:
     }
     record.update({k: v for k, v in fabric_snapshot(fabric_v).items()
                    if k != "sim_time_s"})
+    from .analysis import attribute_query
+    record["attribution"] = attribute_query(fabric_v.trace,
+                                            res_v).to_dict()
     if not record["agree"]:
         raise AssertionError(
             "smoke scenario 'conventional_scan': engine results "

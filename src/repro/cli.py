@@ -19,6 +19,20 @@ Commands
     Run the demo query and export a Chrome/Perfetto ``trace_events``
     JSON timeline (open in https://ui.perfetto.dev or
     ``chrome://tracing``).
+``whatif``
+    Causal what-if profiler: re-run a figure scenario with one
+    hardware resource scaled at a time (deterministic kernel,
+    bit-identical baseline) and print the per-resource virtual
+    speedup table, flagging off-path resources.  ``--vary
+    nic.bw=2x,cxl.lat=0.5x`` runs explicit perturbations instead.
+``report``
+    Render the self-contained HTML bottleneck-attribution report
+    (critical path, sensitivity, stalls, movement ledger) plus the
+    ``repro.whatif/v1`` JSON artifact alongside.
+``optimize``
+    Show the optimizer's top-k placements for a figure scenario;
+    ``--validate-whatif`` simulates each one and prints every
+    cost-vs-simulation ranking disagreement.
 ``experiments``
     List every reproduced experiment and its benchmark file.
 ``bench``
@@ -304,6 +318,138 @@ def cmd_sql(args) -> int:
     return 0
 
 
+def _print_whatif(payload: dict) -> None:
+    baseline = payload["baseline"]
+    attribution = baseline["attribution"]
+    print(f"what-if: {payload['query']} ({payload['title']})  "
+          f"engine={payload['engine']}  rows={payload['rows']:,}")
+    print(f"  baseline: {baseline['sim_time_s']:.6f} sim-s   "
+          f"checksum {baseline['checksum'][:12]}...   "
+          f"bit-identical={baseline['verified_identical']}   "
+          f"attribution-exact={attribution['exact']}")
+    print("\ncritical-path attribution:")
+    for bucket, seconds in attribution["buckets"].items():
+        share = attribution["shares"].get(bucket, 0.0)
+        print(f"  {bucket:28} {seconds:>14.9f} s  {share:>7.2%}")
+    if payload["sensitivity"]:
+        factors = [f"{f:g}" for f in payload["factors"]]
+        header = (f"  {'resource':20}"
+                  + "".join(f"{'x' + f:>9}" for f in factors)
+                  + f" {'verdict':>10}")
+        print("\nper-resource sensitivity (end-to-end speedup):")
+        print(header)
+        for row in payload["sensitivity"]:
+            cells = "".join(
+                f"{row['speedups'][f]:>8.3f}x" for f in factors)
+            verdict = "on-path" if row["on_path"] else "off-path"
+            print(f"  {row['resource']:20}{cells} {verdict:>10}")
+        print(f"\noff-path (<{2:.0f}% gain even at x"
+              f"{max(payload['factors']):g}): "
+              + (", ".join(payload["off_path"]) or "none"))
+    for row in payload["vary"]:
+        print(f"  vary {row['resource']}={row['factor']:g}x: "
+              f"{row['sim_time_s']:.6f} sim-s "
+              f"(speedup {row['speedup']:.3f}x, "
+              f"checksum match={row['checksum_match']})")
+
+
+def cmd_whatif(args) -> int:
+    import json as json_mod
+
+    from .analysis import (
+        DEFAULT_FACTORS,
+        parse_vary,
+        run_whatif,
+        whatif_violations,
+    )
+    vary = parse_vary(args.vary) if args.vary else []
+    factors = ([float(f) for f in args.factors.split(",")]
+               if args.factors else DEFAULT_FACTORS)
+    resources = (args.resources.split(",") if args.resources
+                 else None)
+    payload = run_whatif(args.query, engine=args.engine,
+                         rows=args.rows, factors=factors,
+                         resources=[] if vary and resources is None
+                         else resources,
+                         vary=vary)
+    _print_whatif(payload)
+    violations = whatif_violations(payload)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json_mod.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.out}")
+    if violations:
+        print("\nVIOLATIONS:")
+        for violation in violations:
+            print(f"  - {violation}")
+        return 1
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .analysis import SCENARIOS, run_whatif, write_report
+
+    names = (sorted(SCENARIOS) if args.queries == "all"
+             else [q.strip() for q in args.queries.split(",")])
+    payloads = []
+    for name in names:
+        print(f"analyzing {name}...")
+        payloads.append(run_whatif(name, engine=args.engine,
+                                   rows=args.rows))
+    html_path, json_path = write_report(args.out, payloads)
+    print(f"wrote {html_path} and {json_path} "
+          f"({len(payloads)} queries)")
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    from .analysis import optimizer_crosscheck
+
+    if not args.validate_whatif:
+        from .analysis.scenarios import SCENARIOS, _catalog
+        scenario = SCENARIOS[args.query]
+        fabric = build_fabric(scenario.spec())
+        rows = args.rows or scenario.rows
+        ranked = Optimizer(fabric, _catalog(rows)).rank(
+            scenario.query())[:args.top_k]
+        print(f"top-{len(ranked)} placements for {args.query} "
+              f"({rows:,} rows), by predicted makespan:")
+        for index, candidate in enumerate(ranked):
+            sites = sorted({site for chain in
+                            candidate.placement.sites.values()
+                            for site in chain})
+            print(f"  #{index}: {candidate.placement.name:10} "
+                  f"predicted {candidate.cost.bottleneck_time:.6f} s  "
+                  f"sites={sites}")
+        return 0
+
+    check = optimizer_crosscheck(args.query, rows=args.rows,
+                                 k=args.top_k)
+    print(f"optimizer cross-check: {check['query']} "
+          f"({check['rows']:,} rows, top-{check['k']} placements)")
+    print(f"  {'#':>2} {'placement':12} {'predicted':>12} "
+          f"{'simulated':>12} {'dominant bucket':24}")
+    for plan in check["plans"]:
+        print(f"  {plan['rank']:>2} {plan['placement']:12} "
+              f"{plan['predicted_s']:>12.6f} "
+              f"{plan['simulated_s']:>12.6f} "
+              f"{plan['dominant']:24}")
+    if check["agreement"]:
+        print("cost-model ranking agrees with simulation")
+    else:
+        print("DISAGREEMENTS (cost model ranked the slower plan "
+              "first):")
+        for item in check["disagreements"]:
+            print(f"  - predicted {item['predicted_faster']} < "
+                  f"{item['actually_faster']}, but simulated "
+                  f"{item['simulated_s'][0]:.6f} s > "
+                  f"{item['simulated_s'][1]:.6f} s "
+                  f"(dominant: {item['dominant'][0]} vs "
+                  f"{item['dominant'][1]})")
+    return 0
+
+
 def cmd_experiments(_args) -> int:
     print(f"{'id':4} {'benchmark':36} description")
     for exp_id, description, bench in EXPERIMENTS:
@@ -374,6 +520,54 @@ def build_parser() -> argparse.ArgumentParser:
     sql.add_argument("--placement", default="optimize",
                      choices=["optimize", "pushdown", "cpu"])
     sql.set_defaults(func=cmd_sql)
+
+    whatif = sub.add_parser(
+        "whatif", help="causal what-if profiler (per-resource "
+                       "virtual speedups)")
+    whatif.add_argument("--query", default="f6",
+                        help="figure scenario (f1..f6)")
+    whatif.add_argument("--engine", default="dataflow",
+                        choices=["dataflow", "volcano"])
+    whatif.add_argument("--rows", type=int, default=None)
+    whatif.add_argument("--factors", default=None,
+                        help="comma-separated improvement factors "
+                             "(default 1.25,1.5,2,4)")
+    whatif.add_argument("--resources", default=None,
+                        help="comma-separated resource subset to "
+                             "sweep (default: all on the fabric)")
+    whatif.add_argument("--vary", default=None,
+                        help="explicit raw perturbations, e.g. "
+                             "nic.bw=2x,cxl.lat=0.5x (skips the "
+                             "sweep unless --resources is given)")
+    whatif.add_argument("-o", "--out", default=None,
+                        help="write the repro.whatif/v1 JSON here")
+    whatif.set_defaults(func=cmd_whatif)
+
+    report = sub.add_parser(
+        "report", help="self-contained HTML attribution report "
+                       "(+ JSON artifact)")
+    report.add_argument("-o", "--out", required=True,
+                        help="output .html path (JSON lands "
+                             "alongside)")
+    report.add_argument("--queries", default="all",
+                        help="comma-separated scenarios or 'all'")
+    report.add_argument("--engine", default="dataflow",
+                        choices=["dataflow", "volcano"])
+    report.add_argument("--rows", type=int, default=None)
+    report.set_defaults(func=cmd_report)
+
+    optimize = sub.add_parser(
+        "optimize", help="rank placements; --validate-whatif "
+                         "cross-checks against simulation")
+    optimize.add_argument("--query", default="f6",
+                          help="figure scenario (f1..f6)")
+    optimize.add_argument("--rows", type=int, default=None)
+    optimize.add_argument("-k", "--top-k", type=int, default=3)
+    optimize.add_argument("--validate-whatif", action="store_true",
+                          help="simulate the top-k plans and print "
+                               "cost-vs-simulation ranking "
+                               "disagreements")
+    optimize.set_defaults(func=cmd_optimize)
 
     experiments = sub.add_parser("experiments",
                                  help="list reproduced experiments")

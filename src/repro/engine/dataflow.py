@@ -351,4 +351,6 @@ class DataflowEngine:
             counters=snapshot.delta_prefix(""),
             utilization=snapshot.utilization_delta(
                 flow.elapsed, self.fabric.device_slots()),
+            started_at=flow.started_at,
+            finished_at=flow.finished_at,
         )

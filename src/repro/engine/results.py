@@ -77,6 +77,12 @@ class QueryResult:
     counters: dict[str, float] = field(default_factory=dict)
     peak_compute_dram: float = 0.0
     utilization: dict[str, float] = field(default_factory=dict)
+    #: Simulation-clock query window (span boundaries).  Several
+    #: queries can share one fabric clock, so the critical-path walker
+    #: needs the absolute window, not just its width:
+    #: ``finished_at - started_at == elapsed`` exactly.
+    started_at: float = 0.0
+    finished_at: float = 0.0
 
     def checksum(self) -> str:
         """Canonical content hash of the result table.

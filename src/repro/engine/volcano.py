@@ -383,4 +383,6 @@ class VolcanoEngine:
             peak_compute_dram=self._dram_noted,
             utilization=snapshot.utilization_delta(
                 finished - started, self.fabric.device_slots()),
+            started_at=started,
+            finished_at=finished,
         )

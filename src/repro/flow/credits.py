@@ -104,9 +104,14 @@ class CreditChannel:
         propagation = 0.0
         for link in self.links:
             yield link._ports.request()
+            # Mirror Link.transfer: a busy span per port-occupancy
+            # window, consumed by the critical-path walker.
+            span = self.trace.open_span(f"link.{link.name}",
+                                        self.sim.now)
             try:
                 yield self.sim.timeout(nbytes / link.bandwidth)
             finally:
+                self.trace.close_span(span, self.sim.now)
                 link._ports.release()
             propagation += link.latency
             self.trace.tick(self.sim.now)

@@ -137,6 +137,25 @@ class Device:
         """
         return self.startup + nbytes / self.rate_for(kind)
 
+    def scale_speed(self, factor: float) -> None:
+        """What-if perturbation hook: make the device ``factor``× faster.
+
+        Every per-kind rate (and the default rate) is multiplied by
+        ``factor`` and the fixed startup latency divided by it, so a
+        2× perturbation halves every service time.  ``factor=1.0`` is
+        an exact no-op (multiplying a float by 1.0 is the identity),
+        which is what lets the what-if engine verify its baseline run
+        bit-for-bit against an unperturbed one.
+        """
+        if factor <= 0:
+            raise ValueError(
+                f"device {self.name}: speed factor must be positive")
+        self.rates = {kind: rate * factor
+                      for kind, rate in self.rates.items()}
+        if self.default_rate is not None:
+            self.default_rate *= factor
+        self.startup /= factor
+
     # -- execution --------------------------------------------------------
 
     def execute(self, kind: str, nbytes: float) -> Generator:

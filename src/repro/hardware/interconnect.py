@@ -74,6 +74,24 @@ class Link:
         """Predicted uncontended time for a transfer of ``nbytes``."""
         return self.latency + nbytes / self.bandwidth
 
+    def scale_bandwidth(self, factor: float) -> None:
+        """What-if perturbation hook: multiply bandwidth by ``factor``.
+
+        ``factor=1.0`` is an exact no-op, so the what-if engine's
+        perturbed baseline reproduces the unperturbed run bit for bit.
+        """
+        if factor <= 0:
+            raise ValueError(
+                f"link {self.name}: bandwidth factor must be positive")
+        self.bandwidth *= factor
+
+    def scale_latency(self, factor: float) -> None:
+        """What-if perturbation hook: multiply latency by ``factor``."""
+        if factor < 0:
+            raise ValueError(
+                f"link {self.name}: latency factor must be >= 0")
+        self.latency *= factor
+
     def transfer(self, nbytes: float, flow: str = "",
                  direction: str = "") -> Generator:
         """Move ``nbytes`` across the link (a simulation sub-process).
@@ -86,9 +104,13 @@ class Link:
         self.trace.emit(issued, EventKind.DMA_ISSUE, self.name,
                         label=flow, nbytes=nbytes)
         yield self._ports.request()
+        # A busy span per occupancy window: the raw material the
+        # critical-path walker attributes link time from.
+        span = self.trace.open_span(f"link.{self.name}", self.sim.now)
         try:
             yield self.sim.timeout(self.transfer_time(nbytes))
         finally:
+            self.trace.close_span(span, self.sim.now)
             self._ports.release()
         self.trace.tick(self.sim.now)
         self.trace.emit(issued, EventKind.DMA_COMPLETE, self.name,

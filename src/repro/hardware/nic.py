@@ -77,6 +77,18 @@ class NIC:
     def is_smart(self) -> bool:
         return self.processor is not None
 
+    def scale_line_rate(self, factor: float) -> None:
+        """What-if perturbation hook: multiply the DMA line rate.
+
+        ``factor=1.0`` is an exact no-op (baseline bit-identity).
+        Does not touch the on-NIC processor; use
+        ``processor.scale_speed`` for that.
+        """
+        if factor <= 0:
+            raise ValueError(
+                f"nic {self.name}: line-rate factor must be positive")
+        self.line_rate *= factor
+
     def dma_transfer(self, nbytes: float, label: str = "") -> Generator:
         """Occupy one DMA engine for ``nbytes`` at line rate.
 
@@ -89,9 +101,12 @@ class NIC:
         self.trace.emit(issued, EventKind.DMA_ISSUE,
                         f"nic.{self.name}", label=label, nbytes=nbytes)
         yield self.dma.request()
+        span = self.trace.open_span(f"nic.{self.name}.dma",
+                                    self.sim.now)
         try:
             yield self.sim.timeout(nbytes / self.line_rate)
         finally:
+            self.trace.close_span(span, self.sim.now)
             self.dma.release()
         self.trace.tick(self.sim.now)
         self.trace.emit(issued, EventKind.DMA_COMPLETE,

@@ -331,6 +331,135 @@ class HeterogeneousFabric(Fabric):
                            locations={"node": loc_node, "dram": loc_dram,
                                       "llc": loc_llc, "cpu": loc_cpu})
 
+    # -- what-if perturbation registry ---------------------------------------
+
+    #: Canonical spellings for resource knobs (``repro whatif --vary``).
+    RESOURCE_ALIASES = {
+        "nic.bw": "net.bw",
+        "nic.lat": "net.lat",
+        "disk.bw": "ssd.bw",
+        "disk.lat": "ssd.lat",
+    }
+
+    @classmethod
+    def canonical_resource(cls, resource: str) -> str:
+        """Resolve aliases (``nic.bw`` -> ``net.bw``)."""
+        return cls.RESOURCE_ALIASES.get(resource, resource)
+
+    def _links_by_segment(self, segment: str) -> list:
+        return [data["link"] for _, _, data in self.graph.edges(data=True)
+                if data["link"].segment == segment]
+
+    def _all_nics(self) -> list[NIC]:
+        nics = [node.nic for node in self.compute]
+        if self.storage_nic is not None:
+            nics.append(self.storage_nic)
+        if self.disagg is not None:
+            nics.append(self.disagg.nic)
+        return nics
+
+    def perturbable_resources(self) -> dict[str, str]:
+        """Resource knobs present on *this* fabric, with descriptions.
+
+        Keys are the vocabulary of the causal what-if engine: each one
+        names a class of hardware the simulation can be re-run with
+        scaled up or down.  Only knobs whose hardware actually exists
+        on the fabric are listed (e.g. ``gpu.speed`` only appears when
+        the spec attaches a GPU).
+        """
+        out: dict[str, str] = {}
+        segment_desc = {
+            "network": "net", "pcie": "pcie", "cxl": "cxl",
+            "membus": "membus", "cache": "cache", "nvlink": "nvlink",
+        }
+        for segment, prefix in segment_desc.items():
+            links = self._links_by_segment(segment)
+            if not links:
+                continue
+            names = ", ".join(sorted(link.name for link in links))
+            out[f"{prefix}.bw"] = f"bandwidth of {names}"
+            out[f"{prefix}.lat"] = f"latency of {names}"
+        out["ssd.bw"] = f"bandwidth of medium {self.storage.medium.name}"
+        out["ssd.lat"] = f"access latency of {self.storage.medium.name}"
+        cpus = [node.cpu.name for node in self.compute]
+        out["cpu.speed"] = "compute rates of " + ", ".join(cpus)
+        nic_procs = [nic.processor.name for nic in self._all_nics()
+                     if nic.processor is not None]
+        if nic_procs:
+            out["nic.speed"] = "compute rates of " + ", ".join(nic_procs)
+        if self.has_site("storage.cu"):
+            out["storage_cu.speed"] = (
+                f"compute rates of {self.storage.cu.name}")
+        nearmems = [node.accelerator.name for node in self.compute
+                    if node.accelerator is not None]
+        if self.disagg is not None and self.disagg.accelerator is not None:
+            nearmems.append(self.disagg.accelerator.name)
+        if nearmems:
+            out["nearmem.speed"] = "compute rates of " + ", ".join(nearmems)
+        gpus = [node.gpu.name for node in self.compute
+                if node.gpu is not None]
+        if gpus:
+            out["gpu.speed"] = "compute rates of " + ", ".join(gpus)
+        return out
+
+    def apply_perturbation(self, resource: str, factor: float) -> None:
+        """Multiply the named resource's quantity by ``factor``.
+
+        ``factor`` is a *raw* multiplier on the underlying quantity:
+        ``("net.bw", 2.0)`` doubles network bandwidth, and
+        ``("net.lat", 0.5)`` halves network latency — both
+        improvements.  ``factor=1.0`` is an exact no-op on every hook,
+        which the what-if engine relies on to verify bit-identical
+        baselines.  Raises ``ValueError`` for knobs absent from this
+        fabric (see :meth:`perturbable_resources`).
+        """
+        resource = self.canonical_resource(resource)
+        available = self.perturbable_resources()
+        if resource not in available:
+            raise ValueError(
+                f"unknown or absent resource {resource!r} "
+                f"(this fabric has: {sorted(available)})")
+        prefix, _, knob = resource.rpartition(".")
+        segments = {"net": "network", "pcie": "pcie", "cxl": "cxl",
+                    "membus": "membus", "cache": "cache",
+                    "nvlink": "nvlink"}
+        if prefix in segments:
+            for link in self._links_by_segment(segments[prefix]):
+                if knob == "bw":
+                    link.scale_bandwidth(factor)
+                else:
+                    link.scale_latency(factor)
+            if resource == "net.bw":
+                # The NICs' DMA engines run at the wire's line rate.
+                for nic in self._all_nics():
+                    nic.scale_line_rate(factor)
+        elif prefix == "ssd":
+            if knob == "bw":
+                self.storage.medium.scale_bandwidth(factor)
+            else:
+                self.storage.medium.scale_latency(factor)
+        elif resource == "cpu.speed":
+            for node in self.compute:
+                node.cpu.scale_speed(factor)
+        elif resource == "nic.speed":
+            for nic in self._all_nics():
+                if nic.processor is not None:
+                    nic.processor.scale_speed(factor)
+        elif resource == "storage_cu.speed":
+            self.storage.cu.scale_speed(factor)
+        elif resource == "nearmem.speed":
+            for node in self.compute:
+                if node.accelerator is not None:
+                    node.accelerator.scale_speed(factor)
+            if self.disagg is not None and self.disagg.accelerator is not None:
+                self.disagg.accelerator.scale_speed(factor)
+        elif resource == "gpu.speed":
+            for node in self.compute:
+                if node.gpu is not None:
+                    node.gpu.scale_speed(factor)
+        else:  # pragma: no cover - guarded by the availability check
+            raise ValueError(f"unhandled resource {resource!r}")
+
     # -- site API ------------------------------------------------------------
 
     @property

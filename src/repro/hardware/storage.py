@@ -90,6 +90,25 @@ class StorageMedium:
         """Predicted uncontended read time."""
         return self.access_latency + nbytes / self.read_bandwidth
 
+    def scale_bandwidth(self, factor: float) -> None:
+        """What-if perturbation hook: multiply both bandwidths.
+
+        ``factor=1.0`` is an exact no-op (what-if baseline
+        verification relies on this).
+        """
+        if factor <= 0:
+            raise ValueError(
+                f"medium {self.name}: bandwidth factor must be positive")
+        self.read_bandwidth *= factor
+        self.write_bandwidth *= factor
+
+    def scale_latency(self, factor: float) -> None:
+        """What-if perturbation hook: multiply the access latency."""
+        if factor < 0:
+            raise ValueError(
+                f"medium {self.name}: latency factor must be >= 0")
+        self.access_latency *= factor
+
     def read(self, nbytes: float) -> Generator:
         """Read ``nbytes`` off the medium (simulation process)."""
         issued = self.sim.now
@@ -97,9 +116,12 @@ class StorageMedium:
                         f"storage.{self.name}", label="read",
                         nbytes=nbytes)
         yield self._channel.request()
+        span = self.trace.open_span(f"storage.{self.name}",
+                                    self.sim.now)
         try:
             yield self.sim.timeout(self.read_time(nbytes))
         finally:
+            self.trace.close_span(span, self.sim.now)
             self._channel.release()
         self.trace.tick(self.sim.now)
         self.trace.emit(issued, EventKind.DMA_COMPLETE,
@@ -116,10 +138,13 @@ class StorageMedium:
                         f"storage.{self.name}", label="write",
                         nbytes=nbytes)
         yield self._channel.request()
+        span = self.trace.open_span(f"storage.{self.name}",
+                                    self.sim.now)
         try:
             yield self.sim.timeout(
                 self.access_latency + nbytes / self.write_bandwidth)
         finally:
+            self.trace.close_span(span, self.sim.now)
             self._channel.release()
         self.trace.tick(self.sim.now)
         self.trace.emit(issued, EventKind.DMA_COMPLETE,

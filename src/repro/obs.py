@@ -29,6 +29,7 @@ __all__ = [
     "table_checksum",
     "fabric_snapshot",
     "make_report",
+    "report_violations",
     "validate_report",
 ]
 
@@ -183,9 +184,10 @@ def make_report(tag: str, smoke: list[dict],
     return report
 
 
+# "checksum" is checked separately (missing vs malformed get distinct
+# reason strings), so it is not in the generic required tuple.
 _SMOKE_REQUIRED = ("name", "wall_time_s", "sim_time_s", "rows",
-                   "movement_bytes", "links", "utilization",
-                   "checksum", "agree")
+                   "movement_bytes", "links", "utilization", "agree")
 
 _SMOKE_REQUIRED_V2 = _SMOKE_REQUIRED + ("events", "events_truncated")
 
@@ -197,15 +199,12 @@ def _is_hex_digest(value) -> bool:
             and all(c in "0123456789abcdef" for c in value))
 
 
-def validate_report(report: dict) -> bool:
-    """Check a benchmark report against the v1 or v2 schema.
+def report_violations(report: dict) -> list[str]:
+    """Every schema violation in a benchmark report (empty = valid).
 
-    v1 reports (pre event-tracing) remain valid so historical
-    baselines like ``BENCH_seed.json`` still load; v2 additionally
-    requires per-scenario event-ring stats.  Raises
-    :class:`ValueError` with every violation found; returns True when
-    the report is valid.  Deliberately dependency-free (no jsonschema
-    in the image).
+    The non-raising core of :func:`validate_report`: callers that want
+    to *inspect* problems (CI annotations, the what-if cross-checks)
+    use this; callers that want a gate use :func:`validate_report`.
     """
     errors: list[str] = []
     schema = report.get("schema")
@@ -232,8 +231,11 @@ def validate_report(report: dict) -> bool:
                               bool):
                 errors.append(f"smoke[{name}]: events_truncated "
                               "is not a bool")
-        if not _is_hex_digest(record.get("checksum", "")):
-            errors.append(f"smoke[{name}]: checksum is not a "
+        if "checksum" not in record:
+            errors.append(f"smoke[{name}]: checksum missing")
+        elif not _is_hex_digest(record["checksum"]):
+            errors.append(f"smoke[{name}]: checksum "
+                          f"{record['checksum']!r} is not a "
                           "sha256 hex digest")
         if record.get("sim_time_s", 0.0) <= 0.0:
             errors.append(f"smoke[{name}]: sim_time_s not positive")
@@ -253,7 +255,25 @@ def validate_report(report: dict) -> bool:
     for record in report.get("experiments", []):
         if "name" not in record or "wall_time_s" not in record:
             errors.append("experiment record missing name/wall_time_s")
-    if errors:
-        raise ValueError("invalid benchmark report: "
-                         + "; ".join(errors))
-    return True
+    return errors
+
+
+def validate_report(report: dict, strict: bool = True) -> str:
+    """Check a benchmark report against the v1 or v2 schema.
+
+    v1 reports (pre event-tracing) remain valid so historical
+    baselines like ``BENCH_seed.json`` still load; v2 additionally
+    requires per-scenario event-ring stats and a checksum per smoke
+    record.  Returns the reason string — ``""`` when the report is
+    valid, otherwise every violation joined with ``"; "``.  With
+    ``strict`` (the default) an invalid report raises
+    :class:`ValueError` carrying the same reason instead.
+    Deliberately dependency-free (no jsonschema in the image).
+    """
+    errors = report_violations(report)
+    if not errors:
+        return ""
+    reason = "invalid benchmark report: " + "; ".join(errors)
+    if strict:
+        raise ValueError(reason)
+    return reason

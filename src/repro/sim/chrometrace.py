@@ -68,6 +68,8 @@ def _span_pid(name: str) -> int:
         return _PID_DEVICES
     if name.startswith("stage."):
         return _PID_STAGES
+    if name.startswith(("link.", "storage.", "nic.")):
+        return _PID_LINKS
     return _PID_OTHER
 
 
@@ -100,10 +102,31 @@ class _Tids:
         return tid
 
 
+def _paired_flow_ids(trace: Trace) -> set[int]:
+    """Flow ids with both a ``chunk_emit`` and a ``chunk_recv``.
+
+    A send whose receive fell out of the (bounded) event ring — or
+    never happened because the run was cut short — must not emit a
+    dangling flow arrow: Perfetto renders an unmatched ``ph: "s"`` as
+    an arrow into nowhere and some validators reject it outright.
+    """
+    emitted: set[int] = set()
+    received: set[int] = set()
+    for event in trace.events:
+        if not event.flow_id:
+            continue
+        if event.kind == EventKind.CHUNK_EMIT:
+            emitted.add(event.flow_id)
+        elif event.kind == EventKind.CHUNK_RECV:
+            received.add(event.flow_id)
+    return emitted & received
+
+
 def chrome_trace(trace: Trace) -> dict:
     """``trace`` rendered as a Chrome ``trace_events`` JSON object."""
     tids = _Tids()
     records: list[dict] = []
+    paired = _paired_flow_ids(trace)
 
     for name, spans in sorted(trace.spans.items()):
         pid = _span_pid(name)
@@ -136,8 +159,8 @@ def chrome_trace(trace: Trace) -> dict:
         else:
             records.append({**base, "ph": "i", "s": "t",
                             "ts": event.ts * _US})
-        if event.flow_id and event.kind in (EventKind.CHUNK_EMIT,
-                                            EventKind.CHUNK_RECV):
+        if event.flow_id in paired and event.kind in (
+                EventKind.CHUNK_EMIT, EventKind.CHUNK_RECV):
             ph = "s" if event.kind == EventKind.CHUNK_EMIT else "f"
             flow = {"name": "chunk", "cat": "flow", "ph": ph,
                     "id": event.flow_id,

@@ -6,7 +6,7 @@ import os
 
 import pytest
 
-from repro import bench
+from repro import bench, obs
 from repro.cli import main as cli_main
 from repro.obs import (
     REPORT_SCHEMA,
@@ -82,11 +82,11 @@ def test_combine_checksums_is_order_insensitive():
 def test_report_round_trip_and_validation(smoke_record, tmp_path):
     report = make_report("unit", [smoke_record], created="2026-08-06")
     assert report["schema"] == REPORT_SCHEMA
-    assert validate_report(report) is True
+    assert validate_report(report) == ""
     path = bench.write_report(report, str(tmp_path))
     assert os.path.basename(path) == "BENCH_unit.json"
     with open(path) as handle:
-        assert validate_report(json.load(handle)) is True
+        assert validate_report(json.load(handle)) == ""
 
 
 def test_validation_rejects_bad_reports(smoke_record):
@@ -118,6 +118,25 @@ def test_validation_rejects_bad_reports(smoke_record):
     with pytest.raises(ValueError, match="zero"):
         validate_report(broken)
 
+    broken = copy.deepcopy(report)
+    del broken["smoke"][0]["checksum"]
+    with pytest.raises(ValueError, match="checksum missing"):
+        validate_report(broken)
+
+
+def test_validation_reason_string_without_raising(smoke_record):
+    report = make_report("unit", [smoke_record])
+    assert validate_report(report, strict=False) == ""
+
+    broken = copy.deepcopy(report)
+    del broken["smoke"][0]["checksum"]
+    broken["smoke"][0]["sim_time_s"] = 0.0
+    reason = validate_report(broken, strict=False)
+    assert "checksum missing" in reason
+    assert "sim_time_s" in reason
+    violations = obs.report_violations(broken)
+    assert len(violations) == 2
+
 
 def test_experiment_index_points_at_real_scripts():
     index = bench.experiment_index()
@@ -134,7 +153,7 @@ def test_cli_smoke_writes_valid_report(tmp_path, capsys):
     assert "BENCH_clitest.json" in out
     path = tmp_path / "BENCH_clitest.json"
     report = json.loads(path.read_text())
-    assert validate_report(report) is True
+    assert validate_report(report) == ""
     assert report["tag"] == "clitest"
     names = {record["name"] for record in report["smoke"]}
     assert names == set(bench.SMOKE_SCENARIOS)

@@ -267,6 +267,63 @@ def test_chrome_trace_export_round_trips_through_json(tmp_path):
     assert loaded["otherData"]["event_ring"]["truncated"] is False
 
 
+def test_chrome_trace_of_empty_trace_is_valid_and_empty():
+    payload = chrome_trace(Trace())
+    # No spans, no events: only the (empty) metadata survives, and
+    # the payload is still a well-formed trace_events object.
+    assert payload["traceEvents"] == []
+    assert payload["otherData"]["event_ring"]["recorded"] == 0
+    assert json.loads(json.dumps(payload)) == payload
+
+
+def test_chrome_trace_closes_open_spans_at_watermark():
+    trace = Trace()
+    trace.open_span("device.d0", 1.0)    # never closed
+    trace.tick(3.0)                      # clock watermark advances
+    payload = chrome_trace(trace)
+    spans = [r for r in payload["traceEvents"]
+             if r["ph"] == "X" and r["name"] == "device.d0"]
+    assert len(spans) == 1
+    # The still-open span exports as [start, clock], not negative/NaN.
+    assert spans[0]["ts"] == pytest.approx(1e6)
+    assert spans[0]["dur"] == pytest.approx(2e6)
+
+
+def test_chrome_trace_open_span_before_any_tick_has_zero_dur():
+    trace = Trace()
+    trace.open_span("device.d0", 0.5)
+    # clock watermark still 0.0 < start: dur clamps to zero.
+    spans = [r for r in chrome_trace(trace)["traceEvents"]
+             if r["ph"] == "X"]
+    assert spans[0]["dur"] == 0.0
+
+
+def test_chrome_trace_skips_arrow_for_unmatched_send():
+    trace = Trace()
+    trace.emit(0.1, EventKind.CHUNK_EMIT, "g.a->b", nbytes=64.0,
+               flow_id=7)            # receive never recorded
+    trace.emit(0.2, EventKind.CHUNK_EMIT, "g.a->b", nbytes=64.0,
+               flow_id=8)
+    trace.emit(0.3, EventKind.CHUNK_RECV, "g.a->b", flow_id=8)
+    payload = chrome_trace(trace)
+    starts = [r for r in payload["traceEvents"] if r["ph"] == "s"]
+    finishes = [r for r in payload["traceEvents"] if r["ph"] == "f"]
+    # Flow 7's dangling send emits no arrow; flow 8 pairs up.
+    assert [r["id"] for r in starts] == [8]
+    assert [r["id"] for r in finishes] == [8]
+    # The instant events themselves are still all exported.
+    instants = [r for r in payload["traceEvents"] if r["ph"] == "i"]
+    assert len(instants) == 3
+
+
+def test_chrome_trace_skips_arrow_for_orphan_receive():
+    trace = Trace()
+    trace.emit(0.3, EventKind.CHUNK_RECV, "g.a->b", flow_id=9)
+    payload = chrome_trace(trace)
+    assert not [r for r in payload["traceEvents"]
+                if r["ph"] in ("s", "f")]
+
+
 # ---------------------------------------------------------------------------
 # NIC DMA transfers
 # ---------------------------------------------------------------------------
