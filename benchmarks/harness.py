@@ -3,6 +3,7 @@
 Equivalent to ``PYTHONPATH=src python -m repro bench``::
 
     python benchmarks/harness.py --smoke --tag local --out .
+    python benchmarks/harness.py --smoke --serve --tag local --out .
 
 The wrapper pins the bench directory to its own location, so
 experiment ids resolve regardless of the working directory.

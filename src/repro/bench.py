@@ -63,9 +63,9 @@ from .relational import (
     make_uniform_table,
 )
 
-__all__ = ["SMOKE_SCENARIOS", "run_smoke", "run_experiments",
-           "write_report", "compare_reports", "run_compare",
-           "profile_call", "run_cli", "main"]
+__all__ = ["SMOKE_SCENARIOS", "run_smoke", "run_serving",
+           "run_experiments", "write_report", "compare_reports",
+           "run_compare", "profile_call", "run_cli", "main"]
 
 DEFAULT_ROWS = 6000
 _CHUNK = 1000
@@ -373,6 +373,61 @@ def run_smoke(rows: int = DEFAULT_ROWS,
 
 
 # ---------------------------------------------------------------------------
+# Serving scenarios (the ``serving`` section of repro.bench/v3)
+# ---------------------------------------------------------------------------
+
+SERVE_BENCH_QUERIES = 200
+"""Queries per serving scenario in bench runs.
+
+Small enough for CI, large enough that the latency percentiles are
+stable — the simulator is deterministic, so the same request count
+reproduces the same p50/p99/p999 bit for bit.
+"""
+
+
+def _run_serve_task(task: tuple[str, Optional[int], Optional[int]]
+                    ) -> dict:
+    """One (scenario, rows, queries) serving run — picklable."""
+    name, rows, queries = task
+    from .serve import run_scenario
+    record = run_scenario(name, rows=rows, queries=queries)
+    # The per-query record dicts are bulky (one per served query) and
+    # fully re-derivable from a `repro serve` run; the bench report
+    # keeps the aggregates + checksum only.
+    record.pop("records", None)
+    return record
+
+
+def run_serving(names: Optional[list[str]] = None,
+                rows: Optional[int] = None,
+                queries: Optional[int] = SERVE_BENCH_QUERIES,
+                echo: Callable[[str], None] = lambda _line: None,
+                jobs: int = 1) -> list[dict]:
+    """Run the named serving scenarios; one v3 record each.
+
+    Every run verifies itself (zero accounting violations, checksums
+    bit-identical to standalone oracle runs) before reporting.
+    """
+    from .serve import SERVE_SCENARIOS
+    names = names if names is not None else sorted(SERVE_SCENARIOS)
+    unknown = [n for n in names if n not in SERVE_SCENARIOS]
+    if unknown:
+        raise ValueError(f"unknown serve scenarios {unknown} "
+                         f"(have {sorted(SERVE_SCENARIOS)})")
+    tasks = [(name, rows, queries) for name in names]
+    records = _map_tasks(_run_serve_task, tasks, jobs)
+    for record in records:
+        echo(f"  serve {record['name']:18} "
+             f"q {record['queries']:5d}  "
+             f"p50 {record['latency']['p50_s']:.6f}s  "
+             f"p99 {record['latency']['p99_s']:.6f}s  "
+             f"goodput {record['goodput_qps']:8.1f}/s  "
+             f"shed {record['shed']:4d}  "
+             f"checksum {record['checksum'][:12]}")
+    return records
+
+
+# ---------------------------------------------------------------------------
 # Experiment scripts (benchmarks/bench_*.py)
 # ---------------------------------------------------------------------------
 
@@ -490,7 +545,8 @@ def _rel_close(baseline: float, fresh: float,
 
 
 def compare_reports(baseline: dict, fresh: list[dict],
-                    tolerance: float = DEFAULT_TOLERANCE
+                    tolerance: float = DEFAULT_TOLERANCE,
+                    fresh_serving: Optional[list[dict]] = None
                     ) -> list[str]:
     """Diff fresh smoke records against a baseline report.
 
@@ -498,9 +554,15 @@ def compare_reports(baseline: dict, fresh: list[dict],
     ``sim_time_s``, per-segment ``movement_bytes``, and per-link byte
     totals must be within ``tolerance`` (relative).  Only quantities
     present in the baseline are compared, so a v1 baseline gates a v2
-    run.  Returns a list of human-readable violations (empty = pass).
+    run.  When the baseline carries a v3 ``serving`` section,
+    ``fresh_serving`` is diffed too: checksums and the shed /
+    SLO-violation / query counts must match exactly (the simulator is
+    deterministic), latency percentiles and goodput within
+    ``tolerance``.  Returns human-readable violations (empty = pass).
     """
     violations: list[str] = []
+    violations.extend(_compare_serving(baseline, fresh_serving or [],
+                                       tolerance))
     by_name = {rec["name"]: rec for rec in fresh}
     for base in baseline.get("smoke", []):
         name = base["name"]
@@ -541,6 +603,56 @@ def compare_reports(baseline: dict, fresh: list[dict],
     return violations
 
 
+_SERVE_EXACT_KEYS = ("queries", "completed", "shed",
+                     "slo_violations")
+
+_SERVE_TOLERANCE_KEYS = ("p50_s", "p99_s", "p999_s")
+
+
+def _compare_serving(baseline: dict, fresh: list[dict],
+                     tolerance: float) -> list[str]:
+    """Serving-section violations (helper of :func:`compare_reports`)."""
+    violations: list[str] = []
+    by_name = {rec["name"]: rec for rec in fresh}
+    for base in baseline.get("serving", []):
+        name = base["name"]
+        rec = by_name.get(name)
+        if rec is None:
+            violations.append(
+                f"serving[{name}]: scenario missing from fresh run")
+            continue
+        if base.get("checksum") != rec.get("checksum"):
+            violations.append(
+                f"serving[{name}]: checksum changed "
+                f"({base.get('checksum', '')[:12]}... -> "
+                f"{rec.get('checksum', '')[:12]}...)")
+        for key in _SERVE_EXACT_KEYS:
+            if key in base and base[key] != rec.get(key):
+                violations.append(
+                    f"serving[{name}]: {key} {base[key]} -> "
+                    f"{rec.get(key)} (must match exactly)")
+        base_latency = base.get("latency", {})
+        fresh_latency = rec.get("latency", {})
+        for key in _SERVE_TOLERANCE_KEYS:
+            if key in base_latency and not _rel_close(
+                    base_latency[key], fresh_latency.get(key, 0.0),
+                    tolerance):
+                violations.append(
+                    f"serving[{name}]: latency.{key} "
+                    f"{base_latency[key]:.6g} -> "
+                    f"{fresh_latency.get(key, 0.0):.6g} "
+                    f"(tolerance {tolerance:.1%})")
+        if "goodput_qps" in base and not _rel_close(
+                base["goodput_qps"], rec.get("goodput_qps", 0.0),
+                tolerance):
+            violations.append(
+                f"serving[{name}]: goodput_qps "
+                f"{base['goodput_qps']:.6g} -> "
+                f"{rec.get('goodput_qps', 0.0):.6g} "
+                f"(tolerance {tolerance:.1%})")
+    return violations
+
+
 def run_compare(baseline_path: str,
                 tolerance: float = DEFAULT_TOLERANCE,
                 echo: Callable[[str], None] = lambda _line: None,
@@ -571,29 +683,58 @@ def run_compare(baseline_path: str,
              f"sim {record['sim_time_s']:.6f}s  "
              f"wall {record['wall_time_s']:.2f}s  "
              f"checksum {record['checksum'][:12]}")
+    fresh_serving: list[dict] = []
+    serve_base = baseline.get("serving", [])
+    if serve_base:
+        from .serve import SERVE_SCENARIOS
+        serve_tasks = [
+            (base["name"], base.get("rows"),
+             base.get("requested_queries"))
+            for base in serve_base
+            if base["name"] in SERVE_SCENARIOS]
+        fresh_serving = _map_tasks(_run_serve_task, serve_tasks, jobs)
+        for record in fresh_serving:
+            echo(f"  rerun serve {record['name']:18} "
+                 f"p50 {record['latency']['p50_s']:.6f}s  "
+                 f"p99 {record['latency']['p99_s']:.6f}s  "
+                 f"checksum {record['checksum'][:12]}")
     _echo_wall_delta(baseline, fresh, echo)
-    violations = compare_reports(baseline, fresh, tolerance)
+    violations = compare_reports(baseline, fresh, tolerance,
+                                 fresh_serving=fresh_serving)
     if violations:
         for line in violations:
             print(f"REGRESSION: {line}", file=sys.stderr)
         return 1
     echo(f"baseline comparison passed "
-         f"({len(baseline.get('smoke', []))} scenarios)")
+         f"({len(baseline.get('smoke', []))} smoke + "
+         f"{len(serve_base)} serving scenarios)")
     return 0
 
 
 def _echo_wall_delta(baseline: dict, fresh: list[dict],
                      echo: Callable[[str], None]) -> None:
-    """Print the wall-time trajectory vs. the baseline (non-gating)."""
+    """Print the wall-time trajectory vs. the baseline (non-gating).
+
+    Degrades explicitly instead of confusingly: a baseline without
+    usable wall times (or an empty fresh run) gets a clear note, and
+    pre-``harness_wall_s`` baselines are called out rather than
+    silently compared as if the harness figures existed.
+    """
     base_wall = sum(r.get("wall_time_s", 0.0)
                     for r in baseline.get("smoke", []))
     fresh_wall = sum(r.get("wall_time_s", 0.0) for r in fresh)
     if base_wall <= 0 or fresh_wall <= 0:
+        echo("wall time (informational): baseline carries no "
+             "per-scenario wall times; skipping the delta")
         return
     ratio = base_wall / fresh_wall
     direction = "speedup" if ratio >= 1.0 else "slowdown"
     echo(f"wall time (informational): baseline {base_wall:.3f}s -> "
          f"fresh {fresh_wall:.3f}s  ({ratio:.2f}x {direction})")
+    if "harness_wall_s" not in baseline.get("totals", {}):
+        echo("note: baseline predates totals.harness_wall_s "
+             "(pre-parallel-harness report); the delta above sums "
+             "per-scenario wall times only")
 
 
 # ---------------------------------------------------------------------------
@@ -668,6 +809,10 @@ def run_cli(args) -> int:
         print("smoke scenarios:")
         for name in sorted(SMOKE_SCENARIOS):
             print(f"  {name}")
+        from .serve import SERVE_SCENARIOS
+        print("serving scenarios (--serve):")
+        for name in sorted(SERVE_SCENARIOS):
+            print(f"  {name}")
         print("experiments:")
         for exp_id, path in sorted(experiment_index(args.bench_dir
                                                     ).items()):
@@ -688,29 +833,37 @@ def run_cli(args) -> int:
         echo("--profile runs in-process; ignoring --jobs")
         jobs = 1
 
-    def run_all() -> tuple[list[dict], list[dict]]:
+    serve_set = getattr(args, "serve", False)
+
+    def run_all() -> tuple[list[dict], list[dict], list[dict]]:
         smoke: list[dict] = []
         if run_smoke_set:
             echo(f"running smoke scenarios (rows={args.rows}"
                  + (f", jobs={jobs}" if jobs > 1 else "") + "):")
             smoke = run_smoke(rows=args.rows, echo=echo, jobs=jobs)
+        serving: list[dict] = []
+        if serve_set:
+            echo(f"running serving scenarios "
+                 f"(queries={args.serve_queries}):")
+            serving = run_serving(queries=args.serve_queries,
+                                  echo=echo, jobs=jobs)
         experiments: list[dict] = []
         if exp_ids:
             echo(f"running experiments: {', '.join(exp_ids)}")
             experiments = run_experiments(exp_ids, args.bench_dir,
                                           echo=echo, jobs=jobs)
-        return smoke, experiments
+        return smoke, serving, experiments
 
     harness_started = time.perf_counter()
     profile: Optional[dict] = None
     if profiling:
-        (smoke, experiments), profile = profile_call(
+        (smoke, serving, experiments), profile = profile_call(
             run_all, top=getattr(args, "profile_top", 25))
         for entry in profile["top_by_cumtime"][:5]:
             echo(f"  profile {entry['cumtime_s']:8.3f}s cum  "
                  f"{entry['function']}")
     else:
-        smoke, experiments = run_all()
+        smoke, serving, experiments = run_all()
     harness_wall = time.perf_counter() - harness_started
 
     from datetime import datetime, timezone
@@ -719,7 +872,8 @@ def run_cli(args) -> int:
         created=datetime.now(timezone.utc).isoformat(
             timespec="seconds"),
         extra_totals={"harness_wall_s": harness_wall, "jobs": jobs},
-        profile=profile)
+        profile=profile,
+        serving=serving)
     path = write_report(report, args.out)
     echo(f"report: {path}  "
          f"({report['totals']['benchmarks']} benchmarks, "
@@ -735,6 +889,13 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--exp", default="",
                         help="comma-separated experiment ids "
                              "(f1..f6,c1..c8,e1..e6) or 'all'")
+    parser.add_argument("--serve", action="store_true",
+                        help="also run the multi-tenant serving "
+                             "scenarios (v3 'serving' section)")
+    parser.add_argument("--serve-queries", type=int,
+                        default=SERVE_BENCH_QUERIES,
+                        dest="serve_queries", metavar="N",
+                        help="requested queries per serving scenario")
     parser.add_argument("--tag", default="local",
                         help="report tag (file is BENCH_<tag>.json)")
     parser.add_argument("--out", default=".",

@@ -37,10 +37,19 @@ Commands
     List every reproduced experiment and its benchmark file.
 ``bench``
     Run the machine-readable benchmark harness: instrumented smoke
-    scenarios (``--smoke``) and/or experiment scripts (``--exp``),
-    emitting a schema-versioned ``BENCH_<tag>.json`` report.
-    ``--compare BENCH_x.json`` re-runs a baseline's scenarios and
-    exits non-zero on regression.
+    scenarios (``--smoke``), serving scenarios (``--serve``), and/or
+    experiment scripts (``--exp``), emitting a schema-versioned
+    ``BENCH_<tag>.json`` report.  ``--compare BENCH_x.json`` re-runs
+    a baseline's scenarios and exits non-zero on regression.
+``serve``
+    Serve a named multi-tenant scenario (open/closed tenant
+    populations, admission control, weighted fair queueing, plan
+    cache) on one warm fabric; print latency percentiles, goodput,
+    shed and SLO-violation counts; optionally write the full
+    ``repro.bench/v3`` serving record (with per-query records).
+``loadgen``
+    Materialize the deterministic open-tenant arrival schedule of a
+    serving scenario as JSON (time, tenant, template per arrival).
 """
 
 from __future__ import annotations
@@ -464,6 +473,76 @@ def cmd_bench(args) -> int:
     return run_cli(args)
 
 
+def cmd_serve(args) -> int:
+    import json
+
+    from .serve import run_scenario
+
+    record = run_scenario(args.scenario, rows=args.rows,
+                          queries=args.queries,
+                          verify=not args.no_verify)
+    latency = record["latency"]
+    print(f"scenario {record['name']}  "
+          f"({record['queries']} queries, {record['rows']} rows)")
+    print(f"  completed {record['completed']}  "
+          f"shed {record['shed']}  "
+          f"slo violations {record['slo_violations']}")
+    print(f"  latency p50 {latency['p50_s']:.6f}s  "
+          f"p99 {latency['p99_s']:.6f}s  "
+          f"p999 {latency['p999_s']:.6f}s  "
+          f"max {latency['max_s']:.6f}s")
+    print(f"  goodput {record['goodput_qps']:.1f} q/s  "
+          f"makespan {record['makespan_s']:.6f}s  "
+          f"plan cache {record['plan_cache']['hits']} hits / "
+          f"{record['plan_cache']['misses']} misses")
+    for name, tenant in record["tenants"].items():
+        print(f"  tenant {name:8} weight {tenant['weight']:4.1f}  "
+              f"done {tenant['completed']:5d}  "
+              f"shed {tenant['shed']:4d}  "
+              f"viol {tenant['slo_violations']:4d}  "
+              f"p99 {tenant['p99_s']:.6f}s")
+    if not args.no_verify:
+        checked = record["verification"]["queries_checked"]
+        print(f"  verified: {checked} results bit-identical to "
+              "standalone runs; accounting exact")
+    if args.out:
+        import os
+        out_dir = os.path.dirname(args.out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.out, "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"  record: {args.out}")
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    import json
+
+    from .serve import scenario_schedule, schedule_for
+
+    tenants, counts = scenario_schedule(args.scenario, args.queries)
+    arrivals = schedule_for(tenants, counts)
+    closed = [t.name for t in tenants if not t.arrival.is_open]
+    payload = {
+        "scenario": args.scenario,
+        "arrivals": [a.to_dict() for a in arrivals],
+        "closed_tenants": closed,
+    }
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"{len(arrivals)} open-loop arrivals -> {args.out}")
+    else:
+        print(json.dumps(payload, indent=2))
+    if closed:
+        print(f"note: closed-loop tenants {closed} submit "
+              "reactively and are not in the schedule")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -578,6 +657,36 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run the benchmark harness -> BENCH_<tag>.json")
     add_bench_arguments(bench)
     bench.set_defaults(func=cmd_bench)
+
+    serve = sub.add_parser(
+        "serve", help="serve a multi-tenant scenario on one warm "
+                      "fabric")
+    serve.add_argument("--scenario", default="two_tenant_bursty",
+                       help="serving scenario (see `repro bench "
+                            "--list`)")
+    serve.add_argument("--rows", type=int, default=None,
+                       help="base table rows (scenario default "
+                            "otherwise)")
+    serve.add_argument("--queries", type=int, default=None,
+                       help="requested total queries across tenants")
+    serve.add_argument("--no-verify", action="store_true",
+                       help="skip the standalone-oracle checksum and "
+                            "accounting verification")
+    serve.add_argument("-o", "--out", default=None,
+                       help="write the full repro.bench/v3 serving "
+                            "record (incl. per-query records) here")
+    serve.set_defaults(func=cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen", help="materialize a scenario's open-tenant "
+                        "arrival schedule as JSON")
+    loadgen.add_argument("--scenario", default="two_tenant_bursty",
+                         help="serving scenario name")
+    loadgen.add_argument("--queries", type=int, default=None,
+                         help="requested total queries")
+    loadgen.add_argument("-o", "--out", default=None,
+                         help="output JSON path (stdout otherwise)")
+    loadgen.set_defaults(func=cmd_loadgen)
     return parser
 
 

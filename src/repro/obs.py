@@ -33,16 +33,23 @@ __all__ = [
     "validate_report",
 ]
 
-REPORT_SCHEMA = "repro.bench/v2"
+REPORT_SCHEMA = "repro.bench/v3"
 """Schema identifier embedded in benchmark reports.
 
-v2 adds per-scenario event-ring stats (``events`` /
+v2 added per-scenario event-ring stats (``events`` /
 ``events_truncated``), the backpressure ``stalls`` report, and the
-movement ``ledger`` to every smoke record.
+movement ``ledger`` to every smoke record.  v3 adds the ``serving``
+section: multi-tenant serving records with latency percentiles
+(p50/p99/p999), goodput, shed and SLO-violation counts alongside the
+exact result checksums.
 """
 
-ACCEPTED_REPORT_SCHEMAS = ("repro.bench/v1", REPORT_SCHEMA)
-"""Schemas :func:`validate_report` accepts (v1 lacks event stats)."""
+_SCHEMA_V2 = "repro.bench/v2"
+
+ACCEPTED_REPORT_SCHEMAS = ("repro.bench/v1", _SCHEMA_V2,
+                           REPORT_SCHEMA)
+"""Schemas :func:`validate_report` accepts (v1 lacks event stats,
+v2 lacks the serving section)."""
 
 CHECKSUM_FLOAT_DIGITS = 6
 """Significant digits floats are rounded to before hashing.
@@ -153,7 +160,8 @@ def make_report(tag: str, smoke: list[dict],
                 experiments: Optional[list[dict]] = None,
                 created: str = "",
                 extra_totals: Optional[dict] = None,
-                profile: Optional[dict] = None) -> dict:
+                profile: Optional[dict] = None,
+                serving: Optional[list[dict]] = None) -> dict:
     """Assemble the schema-versioned benchmark report.
 
     ``totals.wall_time_s`` is always the *sum* of per-benchmark wall
@@ -161,12 +169,15 @@ def make_report(tag: str, smoke: list[dict],
     across ``--jobs`` counts; harness-level figures such as
     ``harness_wall_s`` and ``jobs`` arrive via ``extra_totals``.  An
     optional ``profile`` section (``repro bench --profile``) carries
-    the cProfile hot-function table.
+    the cProfile hot-function table; ``serving`` carries the v3
+    multi-tenant serving records (``repro serve``).
     """
     experiments = experiments or []
-    wall = sum(r.get("wall_time_s", 0.0) for r in smoke + experiments)
+    serving = serving or []
+    wall = sum(r.get("wall_time_s", 0.0)
+               for r in smoke + experiments + serving)
     totals = {
-        "benchmarks": len(smoke) + len(experiments),
+        "benchmarks": len(smoke) + len(experiments) + len(serving),
         "wall_time_s": wall,
     }
     totals.update(extra_totals or {})
@@ -177,6 +188,7 @@ def make_report(tag: str, smoke: list[dict],
         "python": "%d.%d.%d" % sys.version_info[:3],
         "smoke": smoke,
         "experiments": experiments,
+        "serving": serving,
         "totals": totals,
     }
     if profile is not None:
@@ -192,6 +204,12 @@ _SMOKE_REQUIRED = ("name", "wall_time_s", "sim_time_s", "rows",
 _SMOKE_REQUIRED_V2 = _SMOKE_REQUIRED + ("events", "events_truncated")
 
 _EVENT_STAT_KEYS = ("recorded", "capacity", "dropped", "truncated")
+
+_SERVING_REQUIRED = ("name", "wall_time_s", "sim_time_s", "queries",
+                     "completed", "shed", "slo_violations", "latency",
+                     "goodput_qps", "tenants")
+
+_LATENCY_KEYS = ("p50_s", "p99_s", "p999_s")
 
 
 def _is_hex_digest(value) -> bool:
@@ -211,7 +229,8 @@ def report_violations(report: dict) -> list[str]:
     if schema not in ACCEPTED_REPORT_SCHEMAS:
         errors.append(f"schema is {schema!r}, expected one of "
                       f"{ACCEPTED_REPORT_SCHEMAS!r}")
-    required = (_SMOKE_REQUIRED_V2 if schema == REPORT_SCHEMA
+    required = (_SMOKE_REQUIRED_V2
+                if schema in (_SCHEMA_V2, REPORT_SCHEMA)
                 else _SMOKE_REQUIRED)
     for key in ("tag", "smoke", "experiments", "totals"):
         if key not in report:
@@ -221,7 +240,7 @@ def report_violations(report: dict) -> list[str]:
         for key in required:
             if key not in record:
                 errors.append(f"smoke[{name}]: missing {key!r}")
-        if schema == REPORT_SCHEMA:
+        if schema in (_SCHEMA_V2, REPORT_SCHEMA):
             events = record.get("events", {})
             for key in _EVENT_STAT_KEYS:
                 if key not in events:
@@ -252,6 +271,34 @@ def report_violations(report: dict) -> list[str]:
                          for entry in links.values()) <= 0.0:
             errors.append(f"smoke[{name}]: all per-link byte "
                           "counters are zero")
+    if schema == REPORT_SCHEMA and "serving" not in report:
+        errors.append("v3 report missing 'serving' section")
+    for record in report.get("serving", []):
+        name = record.get("name", "<unnamed>")
+        for key in _SERVING_REQUIRED:
+            if key not in record:
+                errors.append(f"serving[{name}]: missing {key!r}")
+        latency = record.get("latency", {})
+        for key in _LATENCY_KEYS:
+            if key not in latency:
+                errors.append(f"serving[{name}]: latency missing "
+                              f"{key!r}")
+        if "checksum" not in record:
+            errors.append(f"serving[{name}]: checksum missing")
+        elif not _is_hex_digest(record["checksum"]):
+            errors.append(f"serving[{name}]: checksum "
+                          f"{record['checksum']!r} is not a "
+                          "sha256 hex digest")
+        for key in ("queries", "completed", "shed", "slo_violations"):
+            if record.get(key, 0) < 0:
+                errors.append(f"serving[{name}]: {key} negative")
+        if record.get("completed", 0) + record.get("shed", 0) \
+                > record.get("queries", 0):
+            errors.append(f"serving[{name}]: completed + shed "
+                          "exceeds submitted queries")
+        if record.get("slo_violations", 0) > record.get("completed", 0):
+            errors.append(f"serving[{name}]: more SLO violations "
+                          "than completions")
     for record in report.get("experiments", []):
         if "name" not in record or "wall_time_s" not in record:
             errors.append("experiment record missing name/wall_time_s")
@@ -259,12 +306,13 @@ def report_violations(report: dict) -> list[str]:
 
 
 def validate_report(report: dict, strict: bool = True) -> str:
-    """Check a benchmark report against the v1 or v2 schema.
+    """Check a benchmark report against the v1/v2/v3 schema.
 
     v1 reports (pre event-tracing) remain valid so historical
     baselines like ``BENCH_seed.json`` still load; v2 additionally
     requires per-scenario event-ring stats and a checksum per smoke
-    record.  Returns the reason string — ``""`` when the report is
+    record; v3 adds the ``serving`` section (validated whenever
+    present).  Returns the reason string — ``""`` when the report is
     valid, otherwise every violation joined with ``"; "``.  With
     ``strict`` (the default) an invalid report raises
     :class:`ValueError` carrying the same reason instead.

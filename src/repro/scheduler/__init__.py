@@ -1,15 +1,19 @@
 """Interference-aware multi-query scheduling (§7.3)."""
 
 from .interference import LoadTracker, demand_vector
-from .scheduler import POLICIES, ScheduledQuery, Scheduler
-from .workloads import WorkloadMix, poisson_arrivals
+from .scheduler import POLICIES, QueryExecutor, ScheduledQuery, Scheduler
+from .workloads import WorkloadMix, bursty_arrivals, diurnal_arrivals, \
+    poisson_arrivals
 
 __all__ = [
     "LoadTracker",
     "POLICIES",
+    "QueryExecutor",
     "ScheduledQuery",
     "Scheduler",
     "WorkloadMix",
+    "bursty_arrivals",
     "demand_vector",
+    "diurnal_arrivals",
     "poisson_arrivals",
 ]

@@ -34,7 +34,7 @@ from ..relational.catalog import Catalog
 from ..relational.table import Table
 from .interference import LoadTracker, demand_vector
 
-__all__ = ["Scheduler", "ScheduledQuery"]
+__all__ = ["QueryExecutor", "Scheduler", "ScheduledQuery"]
 
 POLICIES = ("greedy", "interference", "interference+ratelimit")
 
@@ -67,8 +67,17 @@ class _Job:
     variants: list[RankedPlacement] = field(default_factory=list)
 
 
-class Scheduler:
-    """Admits queries onto a shared fabric with interference control."""
+class QueryExecutor:
+    """The incremental execution core behind scheduling and serving.
+
+    Owns the policy decisions one concurrent query needs — variant
+    choice by interference score, per-query rate limiters, dynamic
+    fair-share rebalance — plus the simulation process that runs one
+    placed query on the shared fabric.  :class:`Scheduler` drives it
+    in batch mode (submit everything, then run); the serving
+    front-end (:mod:`repro.serve`) drives it incrementally while the
+    simulator is already advancing.
+    """
 
     def __init__(self, fabric: HeterogeneousFabric, catalog: Catalog,
                  policy: str = "interference+ratelimit",
@@ -82,28 +91,22 @@ class Scheduler:
         self.variants_per_query = variants_per_query
         self.optimizer = Optimizer(fabric, catalog)
         self.tracker = LoadTracker()
-        self._jobs: list[_Job] = []
         self._limiters: dict[str, RateLimiter] = {}
-        self.records: dict[str, ScheduledQuery] = {}
 
-    # -- submission ---------------------------------------------------------
+    # -- planning -----------------------------------------------------------
 
-    def submit(self, name: str, query: Query,
-               arrival: float = 0.0) -> None:
-        """Queue a query to start at simulated time ``arrival``."""
-        if any(j.name == name for j in self._jobs):
-            raise ValueError(f"duplicate job name {name!r}")
-        variants = self.optimizer.plan_variants(
+    def plan_variants(self, query: Query) -> list[RankedPlacement]:
+        """The diverse variant set the policy picks from at runtime."""
+        return self.optimizer.plan_variants(
             query, n=self.variants_per_query)
-        self._jobs.append(_Job(name, query, arrival, variants))
 
-    # -- policy ---------------------------------------------------------
-
-    def _pick_variant(self, job: _Job) -> RankedPlacement:
-        if self.policy == "greedy" or len(job.variants) == 1:
-            return job.variants[0]
+    def pick_variant(self, variants: list[RankedPlacement]
+                     ) -> RankedPlacement:
+        """Choose the variant minimizing projected interference."""
+        if self.policy == "greedy" or len(variants) == 1:
+            return variants[0]
         scored = []
-        for variant in job.variants:
+        for variant in variants:
             vector = demand_vector(variant.cost)
             projected = self.tracker.interference_score(vector)
             # Balance projected contention against the variant's own
@@ -114,14 +117,14 @@ class Scheduler:
         scored.sort(key=lambda pair: pair[0])
         return scored[0][1]
 
-    def _network_bandwidth(self) -> float:
+    def network_bandwidth(self) -> float:
         links = self.fabric.route(self.fabric.storage_location,
                                   "compute0.node")
         net = [link for link in links if link.segment == "network"]
         return (min(link.bandwidth for link in net)
                 if net else float("inf"))
 
-    def _rebalance(self) -> None:
+    def rebalance(self) -> None:
         """Fair-share the network among the active queries (§7.3)."""
         if self.policy != "interference+ratelimit":
             return
@@ -129,39 +132,44 @@ class Scheduler:
                   if name in self._limiters]
         if not active:
             return
-        share = self._network_bandwidth() / len(active)
+        share = self.network_bandwidth() / len(active)
         for name in active:
             self._limiters[name].set_rate(share)
 
-    # -- execution ---------------------------------------------------------
+    # -- execution ----------------------------------------------------------
 
-    def _job_process(self, job: _Job):
+    def execute(self, name: str, query: Query,
+                variants: list[RankedPlacement],
+                record: ScheduledQuery):
+        """Simulation process: run one query on the shared fabric.
+
+        Picks a variant against the *current* mix, admits it to the
+        load tracker, runs the compiled stage graph, and fills in
+        ``record`` (started/finished/variant/table) as it goes.
+        Generator — start it with ``sim.process``/yield from.
+        """
         sim = self.fabric.sim
         trace = self.fabric.trace
-        record = self.records[job.name]
-        if job.arrival > sim.now:
-            yield sim.timeout(job.arrival - sim.now)
-        variant = self._pick_variant(job)
+        variant = self.pick_variant(variants)
         record.variant_name = variant.placement.name
         record.started = sim.now
-        self.tracker.admit(job.name, demand_vector(variant.cost))
-        span = trace.open_span(f"sched.query.{job.name}", sim.now)
+        self.tracker.admit(name, demand_vector(variant.cost))
+        span = trace.open_span(f"sched.query.{name}", sim.now)
         trace.add("sched.admitted", 1)
         trace.sample("sched.active", sim.now,
                      len(self.tracker.active_jobs))
 
         limiter = None
         if self.policy == "interference+ratelimit":
-            limiter = RateLimiter(sim, rate=self._network_bandwidth(),
+            limiter = RateLimiter(sim, rate=self.network_bandwidth(),
                                   burst=1 << 20, trace=trace,
-                                  name=job.name)
-            self._limiters[job.name] = limiter
-        self._rebalance()
+                                  name=name)
+            self._limiters[name] = limiter
+        self.rebalance()
 
         engine = DataflowEngine(self.fabric, self.catalog,
                                 rate_limiter=limiter)
-        graph = engine.compile(job.query, variant.placement,
-                               name=job.name)
+        graph = engine.compile(query, variant.placement, name=name)
         graph.start()
         yield sim.all_of([s.done for s in graph.stages.values()])
 
@@ -169,17 +177,62 @@ class Scheduler:
         trace.close_span(span, sim.now)
         trace.add("sched.completed", 1)
         sinks = [s for s in graph.stages.values() if s.is_sink]
-        schema = job.query.plan.output_schema(self.catalog)
+        schema = query.plan.output_schema(self.catalog)
         table = Table(schema)
         for sink in sinks:
             for chunk in sink.collected:
                 table.append(chunk)
         record.table = table
-        self.tracker.release(job.name)
+        self.tracker.release(name)
         trace.sample("sched.active", sim.now,
                      len(self.tracker.active_jobs))
-        self._limiters.pop(job.name, None)
-        self._rebalance()
+        self._limiters.pop(name, None)
+        self.rebalance()
+
+
+class Scheduler:
+    """Admits queries onto a shared fabric with interference control."""
+
+    def __init__(self, fabric: HeterogeneousFabric, catalog: Catalog,
+                 policy: str = "interference+ratelimit",
+                 variants_per_query: int = 3):
+        self.executor = QueryExecutor(
+            fabric, catalog, policy=policy,
+            variants_per_query=variants_per_query)
+        self.fabric = fabric
+        self.catalog = catalog
+        self.policy = policy
+        self.variants_per_query = variants_per_query
+        self._jobs: list[_Job] = []
+        self.records: dict[str, ScheduledQuery] = {}
+
+    @property
+    def tracker(self) -> LoadTracker:
+        return self.executor.tracker
+
+    @property
+    def optimizer(self) -> Optimizer:
+        return self.executor.optimizer
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, name: str, query: Query,
+               arrival: float = 0.0) -> None:
+        """Queue a query to start at simulated time ``arrival``."""
+        if any(j.name == name for j in self._jobs):
+            raise ValueError(f"duplicate job name {name!r}")
+        variants = self.executor.plan_variants(query)
+        self._jobs.append(_Job(name, query, arrival, variants))
+
+    # -- execution ---------------------------------------------------------
+
+    def _job_process(self, job: _Job):
+        sim = self.fabric.sim
+        record = self.records[job.name]
+        if job.arrival > sim.now:
+            yield sim.timeout(job.arrival - sim.now)
+        yield from self.executor.execute(job.name, job.query,
+                                         job.variants, record)
 
     def run(self) -> list[ScheduledQuery]:
         """Run all submitted queries to completion; returns records."""

@@ -1,0 +1,59 @@
+"""Multi-tenant query serving: the long-lived server mode.
+
+The paper's engines are long-lived streaming data-flow processors,
+not one-shot query runners; this package makes the reproduction
+behave that way.  A :class:`~repro.serve.server.QueryServer` keeps
+one warm fabric + catalog and serves whole simulated user
+populations through three layers:
+
+* **admission control** — a bounded queue with load shedding and
+  retry-after hints (:mod:`repro.serve.admission`);
+* **per-tenant weighted fair queueing** — start-time fair queueing
+  over tenant classes so no tenant starves
+  (:mod:`repro.serve.fairqueue`);
+* **plan caching** — repeat queries skip optimization entirely via a
+  cache keyed on (query, schema, placement context)
+  (:mod:`repro.serve.plancache`).
+
+Admitted queries run through the existing interference-aware
+:class:`~repro.scheduler.scheduler.QueryExecutor` on the shared
+fabric.  The :mod:`repro.serve.frontend` module adds the asyncio
+front-end: client populations are ``asyncio`` tasks submitting over
+a deterministic virtual-time bridge, so serving runs are bit-
+reproducible under a fixed seed.
+"""
+
+from .admission import AdmissionController, AdmissionDecision
+from .fairqueue import WeightedFairQueue
+from .frontend import AsyncFrontEnd, ShedResponse
+from .loadgen import Arrival, open_arrivals, schedule_for
+from .plancache import PlanCache, fabric_fingerprint, plan_fingerprint, \
+    schema_fingerprint
+from .scenarios import SERVE_SCENARIOS, run_scenario, \
+    scenario_schedule, serve_templates
+from .server import QueryServer, ServeConfig, ServeRecord
+from .tenants import ArrivalSpec, TenantClass
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "Arrival",
+    "ArrivalSpec",
+    "AsyncFrontEnd",
+    "PlanCache",
+    "QueryServer",
+    "SERVE_SCENARIOS",
+    "ServeConfig",
+    "ServeRecord",
+    "ShedResponse",
+    "TenantClass",
+    "WeightedFairQueue",
+    "fabric_fingerprint",
+    "open_arrivals",
+    "plan_fingerprint",
+    "run_scenario",
+    "scenario_schedule",
+    "schedule_for",
+    "schema_fingerprint",
+    "serve_templates",
+]

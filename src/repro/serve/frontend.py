@@ -1,0 +1,198 @@
+"""The asyncio front-end: concurrent clients over a virtual clock.
+
+Real serving systems put an async request/reply layer in front of
+the engine; this module does the same, with one twist that keeps the
+whole reproduction deterministic: *time is the simulator's clock*.
+Client populations are ordinary ``asyncio`` coroutines — they
+``await`` submissions and responses exactly like network clients
+would — but instead of wall-clock sleeps they wait on virtual-time
+futures, and a conductor advances the discrete-event simulator only
+when every client is blocked.  The interleaving of thousands of
+concurrent clients is therefore a pure function of the seeds, which
+is what lets CI assert bit-identical checksums and latency
+distributions across runs.
+
+The conductor loop:
+
+1. let every runnable client task run until it blocks on a
+   front-end future (one event-loop pass — clients only ever block
+   on futures this front-end resolves);
+2. fire all due work at the current virtual instant (arrivals →
+   :meth:`QueryServer.submit`, timer wake-ups) in deterministic
+   (time, sequence) order;
+3. otherwise advance the simulator event-by-event — stopping as soon
+   as a completion resolves a client future, so a woken client can
+   schedule new arrivals *before* the clock passes them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Optional
+
+from .server import QueryServer, ServeRecord
+
+__all__ = ["AsyncFrontEnd", "ShedResponse"]
+
+
+@dataclass(frozen=True)
+class ShedResponse:
+    """Reply to a shed submission: come back after ``retry_after_s``."""
+
+    record: ServeRecord
+
+    @property
+    def retry_after_s(self) -> float:
+        return self.record.retry_after_s
+
+
+class AsyncFrontEnd:
+    """Deterministic asyncio request/reply layer over a QueryServer."""
+
+    def __init__(self, server: QueryServer):
+        self.server = server
+        self.sim = server.fabric.sim
+        self._work: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._woke = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # -- client-facing API -------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """The current virtual (simulated) time."""
+        return self.sim.now
+
+    def _future(self) -> asyncio.Future:
+        return self._loop.create_future()
+
+    def _at(self, time: float, fire: Callable[[], None]) -> None:
+        if time < self.sim.now:
+            raise ValueError(
+                f"cannot schedule at {time} (now={self.sim.now})")
+        self._seq += 1
+        heapq.heappush(self._work, (time, self._seq, fire))
+
+    def submit(self, tenant: str, template: str,
+               at: Optional[float] = None) -> asyncio.Future:
+        """Submit a query at virtual time ``at`` (default: now).
+
+        Returns a future that resolves to the completed
+        :class:`ServeRecord`, or to a :class:`ShedResponse` when
+        admission control sheds the query.  ``await`` it for
+        closed-loop behavior; fire-and-gather for open-loop.
+        """
+        fut = self._future()
+
+        def fire() -> None:
+            def on_done(record: ServeRecord) -> None:
+                self._woke = True
+                if not fut.done():
+                    fut.set_result(record if record.admitted
+                                   else ShedResponse(record))
+            self.server.submit(tenant, template, on_done=on_done)
+
+        self._at(self.sim.now if at is None else at, fire)
+        return fut
+
+    async def sleep_until(self, time: float) -> float:
+        """Block until virtual time ``time``; returns the new now."""
+        fut = self._future()
+
+        def fire() -> None:
+            self._woke = True
+            if not fut.done():
+                fut.set_result(None)
+
+        self._at(max(time, self.sim.now), fire)
+        await fut
+        return self.sim.now
+
+    # -- the conductor -----------------------------------------------------
+
+    async def _quiesce(self) -> None:
+        """Let every runnable client task run until it blocks.
+
+        Clients only block on futures this front-end resolves, and
+        resolving a future schedules the waiter *ahead* of this
+        coroutine's wake-up, so two loop passes are enough for every
+        woken client to reach its next ``await`` (the second pass
+        covers a client whose first action resolves synchronously).
+        """
+        await asyncio.sleep(0)
+        await asyncio.sleep(0)
+
+    def _fire_due(self) -> bool:
+        """Run all work scheduled at the current instant."""
+        fired = False
+        while self._work and self._work[0][0] <= self.sim.now:
+            _time, _seq, fire = heapq.heappop(self._work)
+            fire()
+            fired = True
+        return fired
+
+    def _advance(self) -> None:
+        """Move virtual time forward to the next interesting instant.
+
+        Steps the simulator one event at a time so that the moment a
+        completion wakes a client (``_woke``), control returns to the
+        clients before the clock moves past their reaction.
+        """
+        horizon = self._work[0][0] if self._work else None
+        self._woke = False
+        while not self._woke:
+            next_event = self.sim.peek_next_time()
+            if next_event is None:
+                if horizon is None:
+                    return
+                self.sim.run(until=horizon)  # idle jump
+                return
+            if horizon is not None and next_event > horizon:
+                self.sim.run(until=horizon)
+                return
+            self.sim.step()
+
+    async def run(self, populations: list[Awaitable]) -> None:
+        """Drive client ``populations`` to completion, then drain.
+
+        The front-end owns the clock: population coroutines must
+        block only on :meth:`submit` futures and
+        :meth:`sleep_until`.
+        """
+        self._loop = asyncio.get_running_loop()
+        tasks = [asyncio.ensure_future(p) for p in populations]
+        try:
+            while True:
+                await self._quiesce()
+                if self._fire_due():
+                    # New work landed at this instant (e.g. a shed
+                    # response resolved synchronously) — let clients
+                    # react before time moves.
+                    continue
+                done = all(t.done() for t in tasks)
+                if done and not self._work \
+                        and self.sim.peek_next_time() is None:
+                    break
+                if not self._work \
+                        and self.sim.peek_next_time() is None:
+                    # Clients are blocked but nothing is scheduled:
+                    # a deadlocked population (await with no pending
+                    # stimulus) — fail loudly instead of hanging.
+                    raise RuntimeError(
+                        "front-end stalled: clients waiting with no "
+                        "pending work or simulator events")
+                self._advance()
+            for task in tasks:
+                # Surface client exceptions (they are already done).
+                task.result()
+        finally:
+            for task in tasks:
+                if not task.done():
+                    task.cancel()
+
+    def serve(self, populations: list[Awaitable]) -> None:
+        """Synchronous wrapper: ``asyncio.run`` the serving session."""
+        asyncio.run(self.run(populations))

@@ -429,3 +429,16 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of events still queued (for tests/diagnostics)."""
         return len(self._queue) + len(self._immediate)
+
+    def peek_next_time(self) -> Optional[float]:
+        """Due time of the next pending event, or ``None`` if idle.
+
+        Immediate (zero-delay) events are due at the current instant.
+        External drivers (the serving front-end) use this to advance
+        the clock event-by-event without overshooting a wake-up.
+        """
+        if self._immediate:
+            return self.now
+        if self._queue:
+            return self._queue[0][0]
+        return None

@@ -111,8 +111,9 @@ def test_seed_baseline_is_still_valid():
 
 
 def test_v2_schema_requires_event_stats(record):
+    # v3 keeps every v2 smoke-record requirement.
     report = make_report("unit", [copy.deepcopy(record)])
-    assert report["schema"] == "repro.bench/v2"
+    assert report["schema"] == "repro.bench/v3"
     assert validate_report(report) == ""
 
     broken = copy.deepcopy(report)
