@@ -13,9 +13,24 @@ Three layers on top of the observability substrate:
   can actually perturb.
 * :mod:`report` — self-contained HTML attribution report plus the
   ``repro.whatif/v1`` JSON artifact for CI.
+* :mod:`slo` — multi-window SLO burn-rate monitoring over the serving
+  telemetry's per-tenant windowed series, with a pure replay path so
+  CI can assert the live alert stream is reconstructible.
 """
 
-from .critical_path import Attribution, attribute, attribute_query
+from .critical_path import (
+    Attribution,
+    attribute,
+    attribute_query,
+    raw_intervals,
+)
+from .slo import (
+    BurnRateMonitor,
+    SLOPolicy,
+    alert_mismatches,
+    burn_rate,
+    replay_alerts,
+)
 from .scenarios import (
     SCENARIOS,
     Scenario,
@@ -38,6 +53,12 @@ __all__ = [
     "Attribution",
     "attribute",
     "attribute_query",
+    "raw_intervals",
+    "BurnRateMonitor",
+    "SLOPolicy",
+    "alert_mismatches",
+    "burn_rate",
+    "replay_alerts",
     "SCENARIOS",
     "Scenario",
     "ScenarioRun",

@@ -41,7 +41,8 @@ from typing import Optional
 
 from ..sim import EventKind, Trace
 
-__all__ = ["Attribution", "attribute", "attribute_query"]
+__all__ = ["Attribution", "attribute", "attribute_query",
+           "raw_intervals"]
 
 
 # Lower number wins when sources overlap.
@@ -130,26 +131,25 @@ class Attribution:
         }
 
 
-def _collect_intervals(trace: Trace, q0: float, q1: float
-                       ) -> list[tuple[float, float, str, int]]:
-    """Every busy/wait interval source, clipped to ``[q0, q1]``."""
-    out: list[tuple[float, float, str, int]] = []
+def raw_intervals(trace: Trace
+                  ) -> list[tuple[float, Optional[float], str, int]]:
+    """Every busy/wait interval source, *unclipped*.
 
-    def push(start: float, end: Optional[float], bucket: str,
-             prio: int) -> None:
-        end = q1 if end is None else end  # still-open span
-        start = max(start, q0)
-        end = min(end, q1)
-        if end > start:
-            out.append((start, end, bucket, prio))
-
+    One pass over the trace's spans and event ring; the result can be
+    handed to :func:`attribute` via ``intervals=`` to amortize the
+    collection cost across many windows (the tail-exemplar path, which
+    attributes dozens of query windows against one trace).  ``end`` is
+    ``None`` for a still-open span (clipped to the window at
+    attribution time).
+    """
+    out: list[tuple[float, Optional[float], str, int]] = []
     for name, spans in trace.spans.items():
         mapped = _span_bucket(name)
         if mapped is None:
             continue
         bucket, prio = mapped
         for span in spans:
-            push(span.start, span.end, bucket, prio)
+            out.append((span.start, span.end, bucket, prio))
 
     # Wire propagation: emit -> recv, paired by flow id.
     emits: dict[int, float] = {}
@@ -159,15 +159,28 @@ def _collect_intervals(trace: Trace, q0: float, q1: float
         elif event.kind == EventKind.CHUNK_RECV and event.flow_id:
             sent = emits.pop(event.flow_id, None)
             if sent is not None:
-                push(sent, event.ts, "wait:wire", _PRIO_WIRE)
+                out.append((sent, event.ts, "wait:wire", _PRIO_WIRE))
         elif event.kind == EventKind.CREDIT_STALL and event.dur > 0:
-            push(event.ts, event.ts + event.dur, "wait:credit",
-                 _PRIO_CREDIT)
+            out.append((event.ts, event.ts + event.dur,
+                        "wait:credit", _PRIO_CREDIT))
     return out
 
 
-def attribute(trace: Trace, started_at: float,
-              finished_at: float) -> Attribution:
+def _clip(intervals, q0: float, q1: float
+          ) -> list[tuple[float, float, str, int]]:
+    """Clip raw intervals to ``[q0, q1]``, dropping empty results."""
+    out: list[tuple[float, float, str, int]] = []
+    for start, end, bucket, prio in intervals:
+        end = q1 if end is None else end  # still-open span
+        start = max(start, q0)
+        end = min(end, q1)
+        if end > start:
+            out.append((start, end, bucket, prio))
+    return out
+
+
+def attribute(trace: Trace, started_at: float, finished_at: float,
+              intervals: Optional[list] = None) -> Attribution:
     """Attribute every instant of ``[started_at, finished_at]``.
 
     Boundary sweep over the clipped interval set: between two adjacent
@@ -175,6 +188,9 @@ def attribute(trace: Trace, started_at: float,
     is charged to the highest-priority one (``wait:other`` when none).
     All widths are summed as :class:`~fractions.Fraction`, so the
     result reconciles exactly.
+
+    ``intervals`` (from :func:`raw_intervals`) skips the per-call
+    trace walk when attributing many windows against one trace.
     """
     attribution = Attribution(started_at=started_at,
                               finished_at=finished_at)
@@ -182,7 +198,9 @@ def attribute(trace: Trace, started_at: float,
     if q1 <= q0:
         return attribution
 
-    intervals = _collect_intervals(trace, started_at, finished_at)
+    if intervals is None:
+        intervals = raw_intervals(trace)
+    intervals = _clip(intervals, started_at, finished_at)
     bounds = {q0, q1}
     starts: dict[Fraction, list[tuple[int, str]]] = {}
     ends: dict[Fraction, list[tuple[int, str]]] = {}

@@ -391,10 +391,18 @@ def _run_serve_task(task: tuple[str, Optional[int], Optional[int]]
     name, rows, queries = task
     from .serve import run_scenario
     record = run_scenario(name, rows=rows, queries=queries)
-    # The per-query record dicts are bulky (one per served query) and
-    # fully re-derivable from a `repro serve` run; the bench report
-    # keeps the aggregates + checksum only.
+    # The per-query record dicts, completion order and full telemetry
+    # payload are bulky and fully re-derivable from a `repro serve`
+    # run; the bench report keeps the aggregates, the checksum, and
+    # the telemetry *digest* (bit-reproducible, so `--compare` can
+    # gate on it without carrying the whole payload).
     record.pop("records", None)
+    record.pop("completion_order", None)
+    telemetry = record.pop("telemetry", None)
+    if telemetry is not None:
+        record["telemetry_windows"] = telemetry["windows"]
+        record["telemetry_alerts"] = len(telemetry["alerts"])
+        record["telemetry_exemplars"] = len(telemetry["exemplars"])
     return record
 
 
@@ -405,8 +413,10 @@ def run_serving(names: Optional[list[str]] = None,
                 jobs: int = 1) -> list[dict]:
     """Run the named serving scenarios; one v3 record each.
 
-    Every run verifies itself (zero accounting violations, checksums
-    bit-identical to standalone oracle runs) before reporting.
+    Every run verifies itself (zero accounting violations, zero
+    telemetry violations — alert streams reconstructible, exemplar
+    attributions exact — and checksums bit-identical to standalone
+    oracle runs) before reporting.
     """
     from .serve import SERVE_SCENARIOS
     names = names if names is not None else sorted(SERVE_SCENARIOS)
@@ -423,6 +433,7 @@ def run_serving(names: Optional[list[str]] = None,
              f"p99 {record['latency']['p99_s']:.6f}s  "
              f"goodput {record['goodput_qps']:8.1f}/s  "
              f"shed {record['shed']:4d}  "
+             f"alerts {record.get('telemetry_alerts', 0):3d}  "
              f"checksum {record['checksum'][:12]}")
     return records
 
@@ -603,8 +614,13 @@ def compare_reports(baseline: dict, fresh: list[dict],
     return violations
 
 
+# telemetry_digest is the strongest of these: a byte-identical
+# telemetry payload (windows, sketches, alerts, exemplars) for the
+# same seed, regardless of --jobs or host.
 _SERVE_EXACT_KEYS = ("queries", "completed", "shed",
-                     "slo_violations")
+                     "slo_violations", "telemetry_digest",
+                     "telemetry_windows", "telemetry_alerts",
+                     "telemetry_exemplars")
 
 _SERVE_TOLERANCE_KEYS = ("p50_s", "p99_s", "p999_s")
 

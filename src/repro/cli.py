@@ -273,6 +273,24 @@ def _print_ledger(trace, max_rows: int = 40) -> None:
 def cmd_trace(args) -> int:
     """Run the demo query and export a Chrome trace_events timeline."""
     from .sim import export_chrome_trace
+    if args.serve:
+        from .serve import serve_scenario_server
+        server = serve_scenario_server(args.scenario,
+                                       queries=args.queries)
+        trace = server.fabric.trace
+        trace.close_open_spans()
+        payload = export_chrome_trace(trace, args.out)
+        stats = trace.event_stats()
+        lanes = len({ctx.get("tenant", "")
+                     for ctx in trace.contexts.values()})
+        print(f"wrote {args.out}: {len(payload['traceEvents'])} "
+              f"trace events from scenario {args.scenario} "
+              f"({stats['recorded']} ring events, "
+              f"{len(trace.contexts)} query contexts, "
+              f"{lanes} tenant lanes, "
+              f"truncated={stats['truncated']})")
+        print("open in https://ui.perfetto.dev or chrome://tracing")
+        return 0
     catalog = Catalog()
     catalog.register("lineitem", make_lineitem(args.rows,
                                                chunk_rows=8192))
@@ -399,6 +417,19 @@ def cmd_whatif(args) -> int:
 def cmd_report(args) -> int:
     from .analysis import SCENARIOS, run_whatif, write_report
 
+    if args.serve:
+        from .serve import run_scenario, write_dashboard
+        record = run_scenario(args.serve_scenario)
+        html_path, json_path = write_dashboard(
+            args.out, record,
+            title=f"Serving dashboard — {args.serve_scenario}")
+        telemetry = record["telemetry"]
+        print(f"wrote {html_path} and {json_path} "
+              f"({telemetry['windows']} windows, "
+              f"{len(telemetry['alerts'])} alerts, "
+              f"{len(telemetry['exemplars'])} exemplars)")
+        return 0
+
     names = (sorted(SCENARIOS) if args.queries == "all"
              else [q.strip() for q in args.queries.split(",")])
     payloads = []
@@ -501,10 +532,25 @@ def cmd_serve(args) -> int:
               f"shed {tenant['shed']:4d}  "
               f"viol {tenant['slo_violations']:4d}  "
               f"p99 {tenant['p99_s']:.6f}s")
+    telemetry = record.get("telemetry")
+    if telemetry is not None:
+        alerts = telemetry["alerts"]
+        fired = sum(1 for a in alerts if a["kind"] == "fired")
+        print(f"  telemetry: {telemetry['windows']} windows x "
+              f"{telemetry['window_s'] * 1e3:g} ms  "
+              f"alerts {fired} fired / {len(alerts) - fired} "
+              f"resolved  exemplars {len(telemetry['exemplars'])}  "
+              f"digest {record['telemetry_digest'][:12]}...")
     if not args.no_verify:
         checked = record["verification"]["queries_checked"]
         print(f"  verified: {checked} results bit-identical to "
-              "standalone runs; accounting exact")
+              "standalone runs; accounting + telemetry exact")
+    if args.report:
+        from .serve import write_dashboard
+        html_path, json_path = write_dashboard(
+            args.report, record,
+            title=f"Serving dashboard — {record['name']}")
+        print(f"  dashboard: {html_path} (+ {json_path})")
     if args.out:
         import os
         out_dir = os.path.dirname(args.out)
@@ -588,6 +634,14 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--rows", type=int, default=50_000)
     trace.add_argument("--engine", default="dataflow",
                        choices=["dataflow", "volcano", "both"])
+    trace.add_argument("--serve", action="store_true",
+                       help="trace a multi-tenant serving scenario "
+                            "instead of the demo query (per-tenant "
+                            "lanes, serve lifecycle events)")
+    trace.add_argument("--scenario", default="two_tenant_bursty",
+                       help="serving scenario for --serve")
+    trace.add_argument("--queries", type=int, default=None,
+                       help="requested queries for --serve")
     trace.set_defaults(func=cmd_trace)
 
     sql = sub.add_parser(
@@ -633,6 +687,12 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--engine", default="dataflow",
                         choices=["dataflow", "volcano"])
     report.add_argument("--rows", type=int, default=None)
+    report.add_argument("--serve", action="store_true",
+                        help="render the serving telemetry dashboard "
+                             "instead of the attribution report")
+    report.add_argument("--serve-scenario",
+                        default="two_tenant_bursty",
+                        help="serving scenario for --serve")
     report.set_defaults(func=cmd_report)
 
     optimize = sub.add_parser(
@@ -675,6 +735,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("-o", "--out", default=None,
                        help="write the full repro.bench/v3 serving "
                             "record (incl. per-query records) here")
+    serve.add_argument("--report", default=None, metavar="HTML",
+                       help="write the self-contained serving "
+                            "dashboard here (telemetry JSON lands "
+                            "alongside)")
     serve.set_defaults(func=cmd_serve)
 
     loadgen = sub.add_parser(

@@ -292,8 +292,13 @@ class DataflowEngine:
         self._graph_counter = 0
 
     def compile(self, plan, placement: Optional[Placement] = None,
-                name: str = "") -> StageGraph:
-        """Build the stage graph for ``plan`` without running it."""
+                name: str = "", qid: int = 0) -> StageGraph:
+        """Build the stage graph for ``plan`` without running it.
+
+        ``qid`` carries the serving query context (0 outside serving)
+        into the stage graph, so every event the query's processes
+        emit is attributable to its tenant.
+        """
         if isinstance(plan, Query):
             plan = plan.plan
         if placement is None:
@@ -302,7 +307,8 @@ class DataflowEngine:
         self._graph_counter += 1
         graph = StageGraph(self.fabric,
                            name=name or f"df{self._graph_counter}",
-                           default_credits=self.default_credits)
+                           default_credits=self.default_credits,
+                           qid=qid)
         compiler = _Compiler(self, graph, placement)
         branches = compiler.build(plan)
         # Gather at the result site and collect.

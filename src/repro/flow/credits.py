@@ -45,7 +45,8 @@ class CreditChannel:
                  control_bytes: int = 16,
                  rate_limiter: Optional[RateLimiter] = None,
                  cpu_mediator: Optional[Device] = None,
-                 actor: str = "", direction: str = ""):
+                 actor: str = "", direction: str = "",
+                 qid: int = 0):
         if credits < 1:
             raise ValueError("credit window must be >= 1")
         self.sim = sim
@@ -62,6 +63,11 @@ class CreditChannel:
         # bytes travel (``src_location->dst_location``).
         self.actor = actor or name
         self.direction = direction
+        # Owning query context (serving runs).  The wire-delivery and
+        # credit-return helpers run as *detached* processes outside
+        # the sender stage's scoped frame, so they tag their events
+        # explicitly instead of relying on the ambient context.
+        self.qid = qid
         self._tokens = Store(sim, capacity=credits,
                              name=f"{name}.credits")
         for _ in range(credits):
@@ -147,7 +153,7 @@ class CreditChannel:
         yield self.inbox.put((self, payload))
         self.trace.emit(self.sim.now, EventKind.CHUNK_RECV, self.name,
                         label="end" if payload is END else "",
-                        flow_id=flow_id)
+                        flow_id=flow_id, qid=self.qid)
 
     def send_end(self) -> Generator:
         """Close this producer's stream (consumes a credit like data)."""
@@ -171,7 +177,7 @@ class CreditChannel:
         self.in_flight_or_queued -= 1
         yield self._tokens.put(True)
         self.trace.emit(self.sim.now, EventKind.CREDIT_GRANT, self.name,
-                        nbytes=self.control_bytes)
+                        nbytes=self.control_bytes, qid=self.qid)
         self.trace.add(f"flow.{self.name}.control_bytes",
                        self.control_bytes)
         self.trace.add("flow.control.total_bytes", self.control_bytes)

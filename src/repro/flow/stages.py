@@ -284,11 +284,15 @@ class StageGraph:
     """A set of stages plus the channels wiring them together."""
 
     def __init__(self, fabric, name: str = "q0",
-                 default_credits: int = 8):
+                 default_credits: int = 8, qid: int = 0):
         self.fabric = fabric
         self.sim: Simulator = fabric.sim
         self.trace: Trace = fabric.trace
         self.name = name
+        # Query context id (serving runs): stage processes run scoped
+        # under it so every event they cause — including ones emitted
+        # from shared hardware code — is tenant-attributable.
+        self.qid = qid
         self.default_credits = default_credits
         self.stages: dict[str, Stage] = {}
         self.channels: list[CreditChannel] = []
@@ -357,7 +361,8 @@ class StageGraph:
             self.default_credits,
             rate_limiter=rate_limiter, cpu_mediator=cpu_mediator,
             actor=f"{self.name}.{src.name}",
-            direction=f"{src.location}->{dst.location}")
+            direction=f"{src.location}->{dst.location}",
+            qid=self.qid)
         src.outputs.append(channel)
         dst.inputs.append(channel)
         self.channels.append(channel)
@@ -378,8 +383,14 @@ class StageGraph:
         self.trace.add(f"graph.{self.name}.channels",
                        len(self.channels))
         for stage in self.stages.values():
-            self.sim.process(stage.run(),
-                             name=f"{self.name}.{stage.name}")
+            run = stage.run()
+            if self.qid:
+                # Serving context: tag every event this stage's
+                # process (and the device/storage code it drives)
+                # emits with the owning query.  Pure observation —
+                # the wrapper never changes what the kernel sees.
+                run = self.trace.scoped(self.qid, run)
+            self.sim.process(run, name=f"{self.name}.{stage.name}")
 
     def _validate(self) -> None:
         for stage in self.stages.values():

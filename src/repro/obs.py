@@ -211,6 +211,17 @@ _SERVING_REQUIRED = ("name", "wall_time_s", "sim_time_s", "queries",
 
 _LATENCY_KEYS = ("p50_s", "p99_s", "p999_s")
 
+_TELEMETRY_SCHEMA = "repro.serve-telemetry/v1"
+
+_TELEMETRY_REQUIRED = ("schema", "window_s", "windows", "tenants",
+                       "alerts", "exemplars")
+
+_TELEMETRY_SERIES_KEYS = ("window", "arrivals", "completions",
+                          "sheds", "violations")
+
+_ALERT_KEYS = ("tenant", "window", "ts", "kind", "fast_burn",
+               "slow_burn", "threshold")
+
 
 def _is_hex_digest(value) -> bool:
     return (isinstance(value, str) and len(value) == 64
@@ -299,9 +310,75 @@ def report_violations(report: dict) -> list[str]:
         if record.get("slo_violations", 0) > record.get("completed", 0):
             errors.append(f"serving[{name}]: more SLO violations "
                           "than completions")
+        if "records" in record and not record["records"]:
+            # A serving record that carries the per-query list must
+            # carry a non-empty one: an empty list means the run
+            # served nothing, and every aggregate above is vacuous.
+            errors.append(f"serving[{name}]: 'records' list is "
+                          "empty — the run served no queries")
+        if "telemetry" in record:
+            errors.extend(
+                f"serving[{name}]: {violation}" for violation in
+                _telemetry_section_violations(record["telemetry"]))
+            digest = record.get("telemetry_digest")
+            if not _is_hex_digest(digest):
+                errors.append(f"serving[{name}]: telemetry_digest "
+                              f"{digest!r} is not a sha256 hex "
+                              "digest")
     for record in report.get("experiments", []):
         if "name" not in record or "wall_time_s" not in record:
             errors.append("experiment record missing name/wall_time_s")
+    return errors
+
+
+def _telemetry_section_violations(telemetry: dict) -> list[str]:
+    """Structural checks for one ``repro.serve-telemetry/v1`` section."""
+    errors: list[str] = []
+    if not isinstance(telemetry, dict):
+        return ["telemetry section is not an object"]
+    for key in _TELEMETRY_REQUIRED:
+        if key not in telemetry:
+            errors.append(f"telemetry missing {key!r}")
+    if telemetry.get("schema") not in (None, _TELEMETRY_SCHEMA):
+        errors.append(f"telemetry schema is "
+                      f"{telemetry.get('schema')!r}, expected "
+                      f"{_TELEMETRY_SCHEMA!r}")
+    if telemetry.get("window_s", 1.0) <= 0:
+        errors.append("telemetry window_s not positive")
+    windows = telemetry.get("windows", 0)
+    for tenant, data in telemetry.get("tenants", {}).items():
+        series = data.get("series", [])
+        if len(series) != windows:
+            errors.append(
+                f"telemetry tenant {tenant}: series has "
+                f"{len(series)} entries for {windows} windows "
+                "(series must be dense)")
+        for position, entry in enumerate(series):
+            if entry.get("window") != position:
+                errors.append(f"telemetry tenant {tenant}: series "
+                              f"entry {position} has window index "
+                              f"{entry.get('window')!r}")
+                break
+            missing = [k for k in _TELEMETRY_SERIES_KEYS
+                       if k not in entry]
+            if missing:
+                errors.append(f"telemetry tenant {tenant}: window "
+                              f"{position} missing {missing}")
+                break
+    for index, alert in enumerate(telemetry.get("alerts", [])):
+        missing = [k for k in _ALERT_KEYS if k not in alert]
+        if missing:
+            errors.append(f"telemetry alert {index} missing "
+                          f"{missing}")
+        if alert.get("kind") not in ("fired", "resolved"):
+            errors.append(f"telemetry alert {index} has kind "
+                          f"{alert.get('kind')!r}")
+    for exemplar in telemetry.get("exemplars", []):
+        name = exemplar.get("name", "<unnamed>")
+        attribution = exemplar.get("attribution", {})
+        if not attribution.get("exact", False):
+            errors.append(f"telemetry exemplar {name}: critical-path "
+                          "attribution is not exact")
     return errors
 
 
@@ -312,7 +389,9 @@ def validate_report(report: dict, strict: bool = True) -> str:
     baselines like ``BENCH_seed.json`` still load; v2 additionally
     requires per-scenario event-ring stats and a checksum per smoke
     record; v3 adds the ``serving`` section (validated whenever
-    present).  Returns the reason string — ``""`` when the report is
+    present, including its telemetry section and a rejection of
+    empty per-query ``records`` lists).  Returns the reason string —
+    ``""`` when the report is
     valid, otherwise every violation joined with ``"; "``.  With
     ``strict`` (the default) an invalid report raises
     :class:`ValueError` carrying the same reason instead.

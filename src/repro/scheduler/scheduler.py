@@ -140,13 +140,16 @@ class QueryExecutor:
 
     def execute(self, name: str, query: Query,
                 variants: list[RankedPlacement],
-                record: ScheduledQuery):
+                record: ScheduledQuery, qid: int = 0):
         """Simulation process: run one query on the shared fabric.
 
         Picks a variant against the *current* mix, admits it to the
         load tracker, runs the compiled stage graph, and fills in
         ``record`` (started/finished/variant/table) as it goes.
-        Generator — start it with ``sim.process``/yield from.
+        ``qid`` is the serving trace context (0 in batch mode) —
+        passed through to the stage graph so the query's events are
+        tenant-attributable.  Generator — start it with
+        ``sim.process``/yield from.
         """
         sim = self.fabric.sim
         trace = self.fabric.trace
@@ -169,7 +172,8 @@ class QueryExecutor:
 
         engine = DataflowEngine(self.fabric, self.catalog,
                                 rate_limiter=limiter)
-        graph = engine.compile(query, variant.placement, name=name)
+        graph = engine.compile(query, variant.placement, name=name,
+                               qid=qid)
         graph.start()
         yield sim.all_of([s.done for s in graph.stages.values()])
 

@@ -24,14 +24,17 @@ reproducible under a fixed seed.
 """
 
 from .admission import AdmissionController, AdmissionDecision
+from .dashboard import render_dashboard, write_dashboard
 from .fairqueue import WeightedFairQueue
 from .frontend import AsyncFrontEnd, ShedResponse
 from .loadgen import Arrival, open_arrivals, schedule_for
 from .plancache import PlanCache, fabric_fingerprint, plan_fingerprint, \
     schema_fingerprint
 from .scenarios import SERVE_SCENARIOS, run_scenario, \
-    scenario_schedule, serve_templates
+    scenario_schedule, serve_scenario_server, serve_templates
 from .server import QueryServer, ServeConfig, ServeRecord
+from .telemetry import QuantileSketch, ServeTelemetry, \
+    TELEMETRY_SCHEMA
 from .tenants import ArrivalSpec, TenantClass
 
 __all__ = [
@@ -41,19 +44,25 @@ __all__ = [
     "ArrivalSpec",
     "AsyncFrontEnd",
     "PlanCache",
+    "QuantileSketch",
     "QueryServer",
     "SERVE_SCENARIOS",
     "ServeConfig",
     "ServeRecord",
+    "ServeTelemetry",
     "ShedResponse",
+    "TELEMETRY_SCHEMA",
     "TenantClass",
     "WeightedFairQueue",
     "fabric_fingerprint",
     "open_arrivals",
     "plan_fingerprint",
+    "render_dashboard",
     "run_scenario",
     "scenario_schedule",
     "schedule_for",
     "schema_fingerprint",
+    "serve_scenario_server",
     "serve_templates",
+    "write_dashboard",
 ]

@@ -1,0 +1,273 @@
+"""Self-contained HTML serving dashboard (``repro serve --report``).
+
+Renders one serving record (with its ``repro.serve-telemetry/v1``
+section) into a single HTML file with zero external fetches — inline
+CSS, inline SVG sparklines, no scripts, no fonts — so the file works
+as a CI artifact viewed offline.  The machine-readable telemetry JSON
+is written alongside the HTML for ``repro bench --serve --compare``
+and the serve-smoke gates.
+
+Layout: a header strip of whole-run aggregates, one section per
+tenant (SLO policy, per-window sparklines of arrivals / completions /
+sheds / violations / queue depth, sketch percentiles, burn state),
+the alert log, and the tail-exemplar table with per-exemplar
+critical-path attribution bars.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import os
+
+from .telemetry import TELEMETRY_SCHEMA
+
+__all__ = ["render_dashboard", "write_dashboard"]
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 72rem; color: #1c2733;
+       background: #fafbfc; }
+h1 { font-size: 1.5rem; border-bottom: 2px solid #d0d7de;
+     padding-bottom: .4rem; }
+h2 { font-size: 1.2rem; margin-top: 2.2rem; }
+h3 { font-size: 1rem; color: #57606a; }
+table { border-collapse: collapse; margin: .6rem 0 1.2rem;
+        font-size: .85rem; }
+th, td { border: 1px solid #d0d7de; padding: .3rem .6rem;
+         text-align: right; }
+th { background: #eef1f4; }
+td.name, th.name { text-align: left; font-family: ui-monospace,
+                   'SF Mono', Menlo, monospace; }
+.bar { display: inline-block; height: .7rem; background: #4078c0;
+       vertical-align: middle; margin-right: .4rem; }
+.bar.wait { background: #d1242f; }
+.badge { display: inline-block; padding: .1rem .45rem;
+         border-radius: .6rem; font-size: .75rem; color: #fff; }
+.badge.ok { background: #1a7f37; }
+.badge.bad { background: #d1242f; }
+.badge.off { background: #9a6700; }
+.meta { color: #57606a; font-size: .85rem; }
+.spark { vertical-align: middle; background: #fff;
+         border: 1px solid #d0d7de; }
+.kpi { display: inline-block; margin-right: 1.6rem; }
+.kpi b { font-size: 1.15rem; }
+"""
+
+
+def _esc(value) -> str:
+    return html.escape(str(value))
+
+
+def _badge(ok: bool, yes: str, no: str) -> str:
+    cls, text = ("ok", yes) if ok else ("bad", no)
+    return f'<span class="badge {cls}">{_esc(text)}</span>'
+
+
+def _sparkline(values: list[float], color: str = "#4078c0",
+               height: int = 28) -> str:
+    """An inline SVG sparkline over per-window values."""
+    n = len(values)
+    if not n:
+        return '<span class="meta">no windows</span>'
+    width = max(40, min(480, 6 * n))
+    top = max(values)
+    if top <= 0:
+        top = 1.0
+    step = width / n
+    points = []
+    for i, value in enumerate(values):
+        x = (i + 0.5) * step
+        y = height - 2 - (height - 4) * (value / top)
+        points.append(f"{x:.1f},{y:.1f}")
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img">'
+        f'<polyline fill="none" stroke="{color}" stroke-width="1.5" '
+        f'points="{" ".join(points)}"/></svg> '
+        f'<span class="meta">max {top:g}</span>')
+
+
+def _kpis(record: dict) -> str:
+    latency = record.get("latency", {})
+    items = [
+        ("queries", f"{record.get('queries', 0):,}"),
+        ("completed", f"{record.get('completed', 0):,}"),
+        ("shed", f"{record.get('shed', 0):,}"),
+        ("SLO violations", f"{record.get('slo_violations', 0):,}"),
+        ("p50", f"{latency.get('p50_s', 0.0) * 1e3:.3f} ms"),
+        ("p99", f"{latency.get('p99_s', 0.0) * 1e3:.3f} ms"),
+        ("goodput", f"{record.get('goodput_qps', 0.0):,.0f} q/s"),
+    ]
+    return "<p>" + "".join(
+        f'<span class="kpi">{_esc(label)}<br><b>{_esc(value)}</b>'
+        "</span>" for label, value in items) + "</p>"
+
+
+_SERIES_ROWS = (
+    ("arrivals", "arrivals", "#4078c0"),
+    ("completions", "completions", "#1a7f37"),
+    ("sheds", "sheds", "#9a6700"),
+    ("violations", "SLO violations", "#d1242f"),
+    ("queue_depth_max", "queue depth (max)", "#57606a"),
+)
+
+
+def _tenant_section(name: str, data: dict) -> list[str]:
+    policy = data.get("policy", {})
+    series = data.get("series", [])
+    sketch = data.get("sketch", {})
+    out = [f"<h2>tenant <code>{_esc(name)}</code> "
+           + _badge(not data.get("burning", False),
+                    "within budget", "BURNING")
+           + "</h2>"]
+    out.append(
+        "<p class=meta>"
+        f"SLO target {policy.get('target', 0.0):.4g} &middot; "
+        f"burn threshold &ge;{policy.get('threshold', 0.0):g} "
+        f"(fast {policy.get('fast_windows', 0)}w / slow "
+        f"{policy.get('slow_windows', 0)}w) &middot; "
+        f"p50 {data.get('p50_s', 0.0) * 1e3:.3f} ms &middot; "
+        f"p99 {data.get('p99_s', 0.0) * 1e3:.3f} ms &middot; "
+        f"sketch {sketch.get('count', 0)} points, rank error "
+        f"&le;{sketch.get('rank_error_bound', 0)}</p>")
+    out.append("<table>")
+    for key, label, color in _SERIES_ROWS:
+        values = [float(entry.get(key, 0)) for entry in series]
+        out.append(f"<tr><td class=name>{_esc(label)}</td>"
+                   f"<td>{sum(values):g}</td>"
+                   f"<td style='text-align:left'>"
+                   f"{_sparkline(values, color)}</td></tr>")
+    out.append("</table>")
+    return out
+
+
+def _alerts_section(alerts: list[dict], window_s: float) -> list[str]:
+    out = ["<h2>burn-rate alerts</h2>"]
+    if not alerts:
+        out.append("<p class=meta>no alerts fired — every tenant "
+                   "stayed within its error budget</p>")
+        return out
+    out.append("<table><tr><th class=name>tenant</th><th>window</th>"
+               "<th>at (s)</th><th class=name>kind</th>"
+               "<th>fast burn</th><th>slow burn</th>"
+               "<th>threshold</th></tr>")
+    for alert in alerts:
+        fired = alert.get("kind") == "fired"
+        out.append(
+            f"<tr><td class=name>{_esc(alert.get('tenant'))}</td>"
+            f"<td>{alert.get('window', 0)}</td>"
+            f"<td>{alert.get('ts', 0.0):.6f}</td>"
+            f"<td class=name>"
+            + _badge(not fired, alert.get("kind", ""),
+                     alert.get("kind", ""))
+            + f"</td><td>{alert.get('fast_burn', 0.0):.2f}</td>"
+            f"<td>{alert.get('slow_burn', 0.0):.2f}</td>"
+            f"<td>{alert.get('threshold', 0.0):g}</td></tr>")
+    out.append("</table>")
+    out.append(f"<p class=meta>windows are {window_s * 1e3:g} ms of "
+               "virtual time; an alert's timestamp is the closing "
+               "edge of the window that triggered it</p>")
+    return out
+
+
+def _attribution_bars(attribution: dict) -> str:
+    elapsed = attribution.get("elapsed_s", 0.0) or 1.0
+    parts = []
+    for bucket, seconds in list(
+            attribution.get("buckets", {}).items())[:4]:
+        share = seconds / elapsed
+        wait = " wait" if bucket.startswith("wait:") else ""
+        width = max(1, round(share * 120))
+        parts.append(
+            f'<span class="bar{wait}" style="width:{width}px" '
+            f'title="{_esc(bucket)}"></span>'
+            f"{_esc(bucket)} {share * 100:.0f}%")
+    return "<br>".join(parts)
+
+
+def _exemplars_section(exemplars: list[dict]) -> list[str]:
+    out = ["<h2>tail exemplars</h2>"]
+    if not exemplars:
+        out.append("<p class=meta>no completions — nothing to "
+                   "exemplify</p>")
+        return out
+    out.append(
+        "<table><tr><th class=name>query</th><th>window</th>"
+        "<th>latency (ms)</th><th>queued (ms)</th><th>SLO</th>"
+        "<th>events</th><th class=name>critical path</th></tr>")
+    for exemplar in exemplars:
+        attribution = exemplar.get("attribution", {})
+        out.append(
+            f"<tr><td class=name>{_esc(exemplar.get('name'))}</td>"
+            f"<td>{exemplar.get('window', 0)}</td>"
+            f"<td>{exemplar.get('latency_s', 0.0) * 1e3:.3f}</td>"
+            f"<td>{exemplar.get('queued_s', 0.0) * 1e3:.3f}</td>"
+            "<td>"
+            + _badge(not exemplar.get("violated", False), "met",
+                     "violated")
+            + "</td>"
+            f"<td>{len(exemplar.get('events', []))}"
+            + ("" if exemplar.get("slice_complete", True)
+               else ' <span class="badge off">truncated</span>')
+            + "</td>"
+            f"<td class=name style='text-align:left'>"
+            + _badge(attribution.get("exact", False), "exact",
+                     "INEXACT")
+            + "<br>" + _attribution_bars(attribution)
+            + "</td></tr>")
+    out.append("</table>")
+    return out
+
+
+def render_dashboard(record: dict,
+                     title: str = "Serving dashboard") -> str:
+    """Render one serving record as a self-contained HTML page."""
+    telemetry = record.get("telemetry", {})
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(title)} &mdash; {_esc(record.get('name'))}</h1>",
+        "<p class=meta>"
+        f"schema {_esc(telemetry.get('schema', TELEMETRY_SCHEMA))} "
+        f"&middot; {telemetry.get('windows', 0)} windows of "
+        f"{telemetry.get('window_s', 0.0) * 1e3:g} ms &middot; "
+        f"simulated {record.get('sim_time_s', 0.0):.6f} s &middot; "
+        f"digest <code>"
+        f"{_esc(record.get('telemetry_digest', '')[:16])}&hellip;"
+        "</code></p>",
+        _kpis(record),
+    ]
+    tenants = telemetry.get("tenants", {})
+    for name in sorted(tenants):
+        parts += _tenant_section(name, tenants[name])
+    parts += _alerts_section(telemetry.get("alerts", []),
+                             telemetry.get("window_s", 0.0))
+    parts += _exemplars_section(telemetry.get("exemplars", []))
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_dashboard(path: str, record: dict,
+                    title: str = "Serving dashboard"
+                    ) -> tuple[str, str]:
+    """Write the HTML dashboard and its telemetry JSON twin.
+
+    The JSON lands next to the HTML (same basename, ``.json``) and
+    carries the raw ``repro.serve-telemetry/v1`` payload plus the
+    digest, for ``bench --serve --compare`` and CI consumption.
+    """
+    html_text = render_dashboard(record, title=title)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(html_text)
+    json_path = os.path.splitext(path)[0] + ".json"
+    with open(json_path, "w", encoding="utf-8") as fh:
+        json.dump({"schema": TELEMETRY_SCHEMA,
+                   "name": record.get("name", ""),
+                   "digest": record.get("telemetry_digest", ""),
+                   "telemetry": record.get("telemetry", {})},
+                  fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path, json_path

@@ -39,7 +39,7 @@ from .server import QueryServer, ServeConfig
 from .tenants import ArrivalSpec, TenantClass
 
 __all__ = ["SERVE_SCENARIOS", "ServeScenario", "serve_templates",
-           "run_scenario"]
+           "run_scenario", "serve_scenario_server"]
 
 _CHUNK = 1000
 
@@ -288,15 +288,16 @@ def _verify_against_oracle(server: QueryServer, rows: int) -> dict:
             "mismatches": 0}
 
 
-def run_scenario(name: str, rows: Optional[int] = None,
-                 queries: Optional[int] = None,
-                 config: Optional[ServeConfig] = None,
-                 verify: bool = True) -> dict:
-    """Serve one named scenario end-to-end; return the v3 record.
+def serve_scenario_server(name: str, rows: Optional[int] = None,
+                          queries: Optional[int] = None,
+                          config: Optional[ServeConfig] = None
+                          ) -> QueryServer:
+    """Serve one named scenario; return the drained server.
 
-    With ``verify`` (the default) the run also asserts zero
-    accounting violations and bit-identical checksums against
-    standalone oracle runs — the serve-smoke CI contract.
+    The lower-level entry point behind :func:`run_scenario`, for
+    callers that need the live server (its fabric trace, telemetry
+    object, records) rather than the JSON record — e.g. ``repro
+    trace --serve`` exporting the multi-query event ring.
     """
     scenario = SERVE_SCENARIOS.get(name)
     if scenario is None:
@@ -305,8 +306,6 @@ def run_scenario(name: str, rows: Optional[int] = None,
     rows = rows if rows is not None else scenario.rows
     n = queries if queries is not None else scenario.queries
     config = config if config is not None else scenario.config
-
-    started = time.perf_counter()
     catalog = _make_catalog(rows)
     fabric = build_fabric(dataflow_spec())
     tenants, counts = scenario.build_tenants(n)
@@ -316,7 +315,30 @@ def run_scenario(name: str, rows: Optional[int] = None,
     front.serve(_populations(front, tenants, counts))
     if not server.idle:
         raise RuntimeError("server not idle after serving run")
+    return server
 
+
+def run_scenario(name: str, rows: Optional[int] = None,
+                 queries: Optional[int] = None,
+                 config: Optional[ServeConfig] = None,
+                 verify: bool = True) -> dict:
+    """Serve one named scenario end-to-end; return the v3 record.
+
+    With ``verify`` (the default) the run also asserts zero
+    accounting violations, zero telemetry violations, and
+    bit-identical checksums against standalone oracle runs — the
+    serve-smoke CI contract.
+    """
+    scenario = SERVE_SCENARIOS.get(name)
+    if scenario is None:
+        raise ValueError(f"unknown serve scenario {name!r} "
+                         f"(have {sorted(SERVE_SCENARIOS)})")
+    rows = rows if rows is not None else scenario.rows
+    n = queries if queries is not None else scenario.queries
+
+    started = time.perf_counter()
+    server = serve_scenario_server(name, rows=rows, queries=n,
+                                   config=config)
     record = server.report(scenario.name,
                            wall_time_s=time.perf_counter() - started)
     record["rows"] = rows
@@ -327,11 +349,16 @@ def run_scenario(name: str, rows: Optional[int] = None,
     record["description"] = scenario.description
     violations = server.accounting_violations()
     record["accounting_violations"] = violations
+    record["telemetry_violations"] = server.telemetry_violations()
     if verify:
         if violations:
             raise AssertionError(
                 "serving accounting violations:\n  "
                 + "\n  ".join(violations[:10]))
+        if record["telemetry_violations"]:
+            raise AssertionError(
+                "serving telemetry violations:\n  "
+                + "\n  ".join(record["telemetry_violations"][:10]))
         record["verification"] = _verify_against_oracle(server, rows)
     return record
 

@@ -26,9 +26,11 @@ from ..hardware.presets import HeterogeneousFabric
 from ..obs import combine_checksums, table_checksum
 from ..relational.catalog import Catalog
 from ..scheduler.scheduler import QueryExecutor
+from ..sim import EventKind
 from .admission import AdmissionController
 from .fairqueue import WeightedFairQueue
 from .plancache import PlanCache
+from .telemetry import ServeTelemetry
 from .tenants import TenantClass
 
 __all__ = ["QueryServer", "ServeConfig", "ServeRecord",
@@ -47,7 +49,14 @@ def latency_percentile(latencies: list[float], q: float) -> float:
 
 @dataclass(frozen=True)
 class ServeConfig:
-    """Server-wide knobs."""
+    """Server-wide knobs.
+
+    The ``telemetry`` flag gates only the *derived* telemetry
+    (windowing, sketches, exemplars, burn-rate alerts) — the serve
+    lifecycle events and trace contexts are always recorded, and the
+    observer-effect CI gate asserts that flipping the flag changes
+    neither checksums nor completion order.
+    """
 
     max_concurrency: int = 4
     max_queue: int = 32
@@ -55,6 +64,14 @@ class ServeConfig:
     policy: str = "interference+ratelimit"
     plan_cache_capacity: int = 256
     checksum_results: bool = True
+    telemetry: bool = True
+    telemetry_window_s: float = 0.005
+    sketch_capacity: int = 256
+    exemplars_per_window: int = 2
+    max_exemplars: int = 32
+    burn_threshold: float = 1.0
+    fast_windows: int = 3
+    slow_windows: int = 12
 
 
 @dataclass
@@ -66,6 +83,7 @@ class ServeRecord:
     template: str
     arrival: float
     slo_s: float
+    qid: int = 0                  # trace context id (tenant lanes)
     admitted: bool = True
     retry_after_s: float = 0.0
     plan_cache: str = ""          # "hit" | "miss" ("" for shed)
@@ -95,6 +113,7 @@ class ServeRecord:
         return {
             "name": self.name, "tenant": self.tenant,
             "template": self.template, "arrival": self.arrival,
+            "qid": self.qid,
             "admitted": self.admitted,
             "retry_after_s": self.retry_after_s,
             "plan_cache": self.plan_cache,
@@ -145,6 +164,20 @@ class QueryServer:
         self.plan_cache = PlanCache(
             capacity=self.config.plan_cache_capacity)
         self.records: list[ServeRecord] = []
+        #: Completion order by record name — bit-identical between
+        #: telemetry-on and telemetry-off runs (observer-effect gate).
+        self.completion_order: list[str] = []
+        self.telemetry: Optional[ServeTelemetry] = None
+        if self.config.telemetry:
+            self.telemetry = ServeTelemetry(
+                self.tenants, fabric.trace,
+                window_s=self.config.telemetry_window_s,
+                sketch_capacity=self.config.sketch_capacity,
+                exemplars_per_window=self.config.exemplars_per_window,
+                max_exemplars=self.config.max_exemplars,
+                burn_threshold=self.config.burn_threshold,
+                fast_windows=self.config.fast_windows,
+                slow_windows=self.config.slow_windows)
         self._running: set[str] = set()
         self._backlog_cost_s = 0.0
         self._seq = 0
@@ -176,8 +209,15 @@ class QueryServer:
         if self._first_arrival is None:
             self._first_arrival = sim.now
         trace = self.fabric.trace
+        record.qid = trace.register_context(record.name,
+                                            tenant=tenant_name)
         trace.add("serve.submitted", 1)
         trace.add(f"serve.tenant.{tenant_name}.submitted", 1)
+        trace.emit(sim.now, EventKind.SERVE_ARRIVE,
+                   f"serve.{tenant_name}", label=template,
+                   qid=record.qid)
+        if self.telemetry is not None:
+            self.telemetry.on_arrival(record, len(self.queue))
 
         decision = self.admission.decide(
             queued=len(self.queue), running=len(self._running),
@@ -187,6 +227,11 @@ class QueryServer:
             record.retry_after_s = decision.retry_after_s
             trace.add("serve.shed", 1)
             trace.add(f"serve.tenant.{tenant_name}.shed", 1)
+            trace.emit(sim.now, EventKind.SERVE_SHED,
+                       f"serve.{tenant_name}", label=template,
+                       qid=record.qid)
+            if self.telemetry is not None:
+                self.telemetry.on_shed(record)
             if on_done is not None:
                 on_done(record)
             return record
@@ -227,17 +272,30 @@ class QueryServer:
 
     def _run(self, pending: _Pending):
         record = pending.record
+        sim = self.fabric.sim
+        trace = self.fabric.trace
+        trace.emit(sim.now, EventKind.SERVE_START,
+                   f"serve.{record.tenant}", label=record.name,
+                   qid=record.qid)
+        if self.telemetry is not None:
+            self.telemetry.on_start(record, len(self.queue), sim.now)
         yield from self.executor.execute(
-            record.name, pending.query, pending.variants, record)
+            record.name, pending.query, pending.variants, record,
+            qid=record.qid)
         if self.config.checksum_results:
             record.checksum = table_checksum(record.table)
         self._last_finish = max(self._last_finish, record.finished)
         self._running.discard(record.name)
-        trace = self.fabric.trace
+        self.completion_order.append(record.name)
         trace.add("serve.completed", 1)
         trace.add(f"serve.tenant.{record.tenant}.completed", 1)
         if record.slo_violated:
             trace.add("serve.slo_violations", 1)
+        trace.emit(sim.now, EventKind.SERVE_DONE,
+                   f"serve.{record.tenant}", label=record.name,
+                   dur=record.latency, qid=record.qid)
+        if self.telemetry is not None:
+            self.telemetry.on_complete(record)
         if pending.on_done is not None:
             pending.on_done(record)
         self._dispatch()
@@ -320,8 +378,13 @@ class QueryServer:
             "sim_time_s": self.fabric.sim.now,
             "checksum": combine_checksums(checksums),
             "records": [r.to_dict() for r in self.records],
+            "completion_order": list(self.completion_order),
         }
         record.update(self.metrics())
+        if self.telemetry is not None:
+            self.telemetry.finalize(self.fabric.sim.now)
+            record["telemetry"] = self.telemetry.payload()
+            record["telemetry_digest"] = self.telemetry.digest()
         return record
 
     def accounting_violations(self) -> list[str]:
@@ -376,4 +439,26 @@ class QueryServer:
                       if r.plan_cache in ("hit", "miss"))
         if cache["hits"] + cache["misses"] != planned:
             errors.append("plan cache hits+misses != planned queries")
+        finishes = {r.name: r.finished for r in completed}
+        if sorted(self.completion_order) != sorted(finishes):
+            errors.append("completion order does not cover exactly "
+                          "the completed records")
+        else:
+            seq = [finishes[name] for name in self.completion_order]
+            if seq != sorted(seq):
+                errors.append("completion order not monotone in "
+                              "finish time")
         return errors
+
+    def telemetry_violations(self) -> list[str]:
+        """Telemetry invariant check ([] when telemetry is off).
+
+        Finalizes the telemetry if needed and recomputes every
+        windowed aggregate, alert, sketch percentile and exemplar
+        attribution from the raw records — the serve-smoke CI job
+        asserts this is empty.
+        """
+        if self.telemetry is None:
+            return []
+        self.telemetry.finalize(self.fabric.sim.now)
+        return self.telemetry.telemetry_violations(self.records)

@@ -16,7 +16,18 @@ Mapping:
 * ``chunk_emit`` / ``chunk_recv`` pairs sharing a ``flow_id`` → flow
   arrows (``ph: "s"`` / ``ph: "f"``) so a chunk's journey between
   stages is drawn as a connecting arc;
+* serving lifecycle events → a *tenants* track with one lane per
+  tenant: ``serve_start`` / ``serve_done`` pairs (matched by query
+  context id) become per-query slices, arrivals / sheds / alerts
+  become instants — so interleaved queries from many tenants render
+  as parallel lanes instead of a single muddled row;
 * ``M``-phase metadata names every process and thread.
+
+Multi-query rings are safe: flow arrows are emitted only when both
+ends of the pair survive in the bounded ring, and serve slices only
+when both ``serve_start`` and ``serve_done`` are present for the
+context — a query cut short (or half-evicted) renders as instants,
+never as a dangling arrow or an unterminated slice.
 
 Simulated seconds are scaled by 1e6 to the format's microseconds, so
 one simulated second reads as one second in the viewer.
@@ -41,6 +52,7 @@ _PID_STAGES = 3
 _PID_CHANNELS = 4
 _PID_LINKS = 5
 _PID_OTHER = 6
+_PID_TENANTS = 7
 
 _PID_NAMES = {
     _PID_QUERIES: "queries",
@@ -49,6 +61,7 @@ _PID_NAMES = {
     _PID_CHANNELS: "channels",
     _PID_LINKS: "links",
     _PID_OTHER: "other",
+    _PID_TENANTS: "tenants",
 }
 
 _EVENT_ACTOR_PIDS = {
@@ -60,9 +73,17 @@ _EVENT_ACTOR_PIDS = {
     EventKind.DMA_COMPLETE: _PID_LINKS,
 }
 
+# Serving lifecycle events render on the tenants track, handled by
+# the dedicated lane builder rather than the generic event loop.
+_SERVE_KINDS = (EventKind.SERVE_ARRIVE, EventKind.SERVE_SHED,
+                EventKind.SERVE_START, EventKind.SERVE_DONE,
+                EventKind.ALERT)
+
 
 def _span_pid(name: str) -> int:
-    if name.startswith("query."):
+    if name.startswith(("query.", "sched.")):
+        # Batch queries open ``query.*`` spans; scheduled and served
+        # queries open ``sched.query.*`` — both are query timelines.
         return _PID_QUERIES
     if name.startswith("device."):
         return _PID_DEVICES
@@ -100,6 +121,63 @@ class _Tids:
             self._ids[key] = tid
             self.names[(pid, tid)] = name
         return tid
+
+
+def _tenant_lane_records(trace: Trace, tids: "_Tids") -> list[dict]:
+    """The tenants track: one lane per tenant, one slice per query.
+
+    ``serve_start`` / ``serve_done`` events are matched by query
+    context id (``qid``); only complete pairs become slices, so a
+    half-evicted or still-running query never leaves an unterminated
+    slice.  Arrivals, sheds and burn-rate alerts render as instants
+    on the same lanes.
+    """
+    records: list[dict] = []
+    starts: dict[int, object] = {}
+    dones: dict[int, object] = {}
+    for event in trace.events:
+        if event.kind == EventKind.SERVE_START and event.qid:
+            starts[event.qid] = event
+        elif event.kind == EventKind.SERVE_DONE and event.qid:
+            dones[event.qid] = event
+
+    def lane(event) -> tuple[int, str]:
+        context = trace.contexts.get(event.qid, {})
+        tenant = context.get("tenant", "")
+        if not tenant and event.actor.startswith("serve."):
+            tenant = event.actor[len("serve."):]
+        name = f"tenant:{tenant}" if tenant else (event.actor
+                                                  or "serve")
+        return tids.get(_PID_TENANTS, name), name
+
+    for qid in sorted(starts.keys() & dones.keys()):
+        start, done = starts[qid], dones[qid]
+        tid, _ = lane(start)
+        context = trace.contexts.get(qid, {})
+        records.append({
+            "name": context.get("name", f"qid{qid}"), "ph": "X",
+            "cat": "serve", "ts": start.ts * _US,
+            "dur": max(done.ts - start.ts, 0.0) * _US,
+            "pid": _PID_TENANTS, "tid": tid,
+            "args": {"qid": qid,
+                     "latency_s": done.dur}})
+    for event in trace.events:
+        if event.kind not in (EventKind.SERVE_ARRIVE,
+                              EventKind.SERVE_SHED, EventKind.ALERT):
+            continue
+        if event.kind == EventKind.ALERT:
+            tenant = event.actor[len("slo."):] \
+                if event.actor.startswith("slo.") else event.actor
+            tid = tids.get(_PID_TENANTS, f"tenant:{tenant}")
+        else:
+            tid, _ = lane(event)
+        record = {"name": event.kind, "ph": "i", "s": "t",
+                  "cat": "serve", "ts": event.ts * _US,
+                  "pid": _PID_TENANTS, "tid": tid}
+        if event.label:
+            record["args"] = {"label": event.label}
+        records.append(record)
+    return records
 
 
 def _paired_flow_ids(trace: Trace) -> set[int]:
@@ -140,7 +218,11 @@ def chrome_trace(trace: Trace) -> dict:
                 "pid": pid, "tid": tid,
             })
 
+    records.extend(_tenant_lane_records(trace, tids))
+
     for event in trace.events:
+        if event.kind in _SERVE_KINDS:
+            continue  # rendered on the tenants track above
         pid = _event_pid(event)
         tid = tids.get(pid, event.actor or event.kind)
         args: dict = {}
@@ -148,6 +230,8 @@ def chrome_trace(trace: Trace) -> dict:
             args["label"] = event.label
         if event.nbytes:
             args["nbytes"] = event.nbytes
+        if event.qid:
+            args["qid"] = event.qid
         base = {"name": event.kind, "cat": "event",
                 "pid": pid, "tid": tid}
         if args:

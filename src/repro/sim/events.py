@@ -38,7 +38,18 @@ kind                emitted when
 ``mem_free``        DRAM was freed
 ``tax_egress``      a chunk was serialized+compressed+encrypted for the wire
 ``tax_ingress``     a wire payload was decoded back into a chunk
+``serve_arrive``    a tenant query arrived at the serving front door
+``serve_shed``      admission control rejected it (load shedding)
+``serve_start``     an admitted query left the fair queue and started
+``serve_done``      it finished executing
+``alert``           an SLO burn-rate monitor fired or resolved
 ==================  ======================================================
+
+Serving runs additionally attribute events to the query (and thereby
+tenant) that caused them: :attr:`TraceEvent.qid` names a context
+registered with :meth:`~repro.sim.trace.Trace.register_context`.
+``qid == 0`` means "no particular query" — shared infrastructure
+work, or any event from a non-serving (batch) run.
 """
 
 from __future__ import annotations
@@ -70,12 +81,18 @@ class EventKind:
     MEM_FREE = "mem_free"
     TAX_EGRESS = "tax_egress"
     TAX_INGRESS = "tax_ingress"
+    SERVE_ARRIVE = "serve_arrive"
+    SERVE_SHED = "serve_shed"
+    SERVE_START = "serve_start"
+    SERVE_DONE = "serve_done"
+    ALERT = "alert"
 
     ALL = (
         CHUNK_EMIT, CHUNK_RECV, CREDIT_GRANT, CREDIT_STALL,
         DMA_ISSUE, DMA_COMPLETE, CACHE_HIT, CACHE_MISS,
         OP_OPEN, OP_CLOSE, MEM_ALLOC, MEM_FREE,
         TAX_EGRESS, TAX_INGRESS,
+        SERVE_ARRIVE, SERVE_SHED, SERVE_START, SERVE_DONE, ALERT,
     )
 
 
@@ -89,7 +106,11 @@ class TraceEvent:
     for window-shaped events (``credit_stall``, ``dma_complete``) and
     then ``ts`` is the window *start*.  A nonzero ``flow_id`` ties a
     ``chunk_emit`` to its matching ``chunk_recv`` so exporters can
-    draw flow arrows between tracks.
+    draw flow arrows between tracks.  A nonzero ``qid`` attributes
+    the event to a query context registered with
+    :meth:`~repro.sim.trace.Trace.register_context` (serving runs),
+    so per-tenant lanes and tail-exemplar event slices can be carved
+    out of a shared ring.
     """
 
     ts: float
@@ -99,6 +120,7 @@ class TraceEvent:
     nbytes: float = 0.0
     dur: float = 0.0
     flow_id: int = 0
+    qid: int = 0
 
     def to_dict(self) -> dict:
         out = {"ts": self.ts, "kind": self.kind, "actor": self.actor}
@@ -110,6 +132,8 @@ class TraceEvent:
             out["dur"] = self.dur
         if self.flow_id:
             out["flow_id"] = self.flow_id
+        if self.qid:
+            out["qid"] = self.qid
         return out
 
     @classmethod
@@ -119,7 +143,8 @@ class TraceEvent:
                    label=data.get("label", ""),
                    nbytes=float(data.get("nbytes", 0.0)),
                    dur=float(data.get("dur", 0.0)),
-                   flow_id=int(data.get("flow_id", 0)))
+                   flow_id=int(data.get("flow_id", 0)),
+                   qid=int(data.get("qid", 0)))
 
 
 class EventRing:

@@ -50,11 +50,12 @@ from .events import EventRing, TraceEvent
 
 __all__ = ["Trace", "Span", "TRACE_SCHEMA"]
 
-TRACE_SCHEMA = "repro.trace/v2"
+TRACE_SCHEMA = "repro.trace/v3"
 """Schema identifier embedded in serialized traces."""
 
-_ACCEPTED_SCHEMAS = ("repro.trace/v1", TRACE_SCHEMA)
-"""Schemas :meth:`Trace.from_dict` accepts (v1 lacked events/ledger)."""
+_ACCEPTED_SCHEMAS = ("repro.trace/v1", "repro.trace/v2", TRACE_SCHEMA)
+"""Schemas :meth:`Trace.from_dict` accepts (v1 lacked events/ledger,
+v2 lacked query contexts)."""
 
 
 @dataclass
@@ -99,7 +100,15 @@ class Trace:
     ledger: dict[tuple[str, str, str], list[float]] = field(
         default_factory=dict)
     clock: float = 0.0
+    #: Registered query contexts: qid -> {"name", "tenant"}.  Serving
+    #: runs register one per query so events are tenant-attributable.
+    contexts: dict[int, dict] = field(default_factory=dict)
+    #: The ambient query context events default to (0 = none).  Set
+    #: for the dynamic extent of a query's processes via
+    #: :meth:`scoped`; never touched in batch runs.
+    current_qid: int = 0
     _flow_seq: int = field(default=0, repr=False)
+    _ctx_seq: int = field(default=0, repr=False)
 
     # -- recording -------------------------------------------------------
 
@@ -109,18 +118,70 @@ class Trace:
 
     def emit(self, ts: float, kind: str, actor: str, label: str = "",
              nbytes: float = 0.0, dur: float = 0.0,
-             flow_id: int = 0) -> TraceEvent:
+             flow_id: int = 0, qid: Optional[int] = None) -> TraceEvent:
         """Record a typed event into the bounded ring.
 
         ``ts`` is the event instant (window *start* when ``dur`` is
         nonzero); the clock watermark advances to cover the whole
-        window so mid-run reports see it.
+        window so mid-run reports see it.  ``qid`` defaults to the
+        ambient :attr:`current_qid`, so emit sites deep in shared
+        hardware code need no explicit threading.
         """
         self.tick(ts + dur if dur > 0 else ts)
         event = TraceEvent(ts=ts, kind=kind, actor=actor, label=label,
-                           nbytes=nbytes, dur=dur, flow_id=flow_id)
+                           nbytes=nbytes, dur=dur, flow_id=flow_id,
+                           qid=self.current_qid if qid is None
+                           else qid)
         self.events.append(event)
         return event
+
+    def register_context(self, name: str, tenant: str = "") -> int:
+        """Register a query context; returns its fresh ``qid``.
+
+        Events emitted with (or scoped under) this qid become
+        attributable to ``name`` / ``tenant`` — the trace-context
+        propagation the serving telemetry and per-tenant trace lanes
+        are built on.  Registration only ever *records*; it cannot
+        change simulated behavior.
+        """
+        self._ctx_seq += 1
+        qid = self._ctx_seq
+        self.contexts[qid] = {"name": name, "tenant": tenant}
+        return qid
+
+    def scoped(self, qid: int, gen):
+        """Run generator ``gen`` with :attr:`current_qid` = ``qid``.
+
+        A delegating wrapper for simulation processes: every time the
+        inner generator resumes, the ambient context is set to
+        ``qid``; every time it suspends (yields to the kernel) or
+        exits, the context is reset to 0.  This gives exact
+        dynamic-extent scoping — events emitted from shared hardware
+        code (storage media, NICs, memory, cloud taxes) during this
+        process's execution are tagged with the query that caused
+        them, while interleaved processes of other queries are not.
+
+        Setting an attribute cannot alter the event schedule, so a
+        scoped run is simulation-bit-identical to an unscoped one.
+        """
+        value = None
+        error: Optional[BaseException] = None
+        while True:
+            self.current_qid = qid
+            try:
+                if error is not None:
+                    exc, error = error, None
+                    item = gen.throw(exc)
+                else:
+                    item = gen.send(value)
+            except StopIteration as stop:
+                return stop.value
+            finally:
+                self.current_qid = 0
+            try:
+                value = yield item
+            except BaseException as exc:
+                error = exc
 
     def next_flow_id(self) -> int:
         """A fresh id tying a chunk_emit to its chunk_recv."""
@@ -224,8 +285,29 @@ class Trace:
         The merged ring's capacity grows to hold every event both
         sides currently retain, so a merge itself never drops events
         (``dropped`` carries over what each side had already lost
-        before the merge).
+        before the merge).  Query contexts union; when both sides
+        registered the same qid for *different* queries, the other
+        side's contexts (and its events' qids) are remapped to fresh
+        ids so attribution stays unambiguous.
         """
+        remap: dict[int, int] = {}
+        for qid, ctx in sorted(other.contexts.items()):
+            if qid not in self.contexts:
+                self.contexts[qid] = dict(ctx)
+                self._ctx_seq = max(self._ctx_seq, qid)
+            elif self.contexts[qid] != ctx:
+                self._ctx_seq = max(self._ctx_seq,
+                                    max(self.contexts)) + 1
+                remap[qid] = self._ctx_seq
+                self.contexts[self._ctx_seq] = dict(ctx)
+        other_events = list(other.events)
+        if remap:
+            other_events = [
+                TraceEvent(ts=e.ts, kind=e.kind, actor=e.actor,
+                           label=e.label, nbytes=e.nbytes, dur=e.dur,
+                           flow_id=e.flow_id,
+                           qid=remap.get(e.qid, e.qid))
+                for e in other_events]
         for key, value in other.counters.items():
             self.counters[key] += value
         for key, samples in other.series.items():
@@ -236,7 +318,7 @@ class Trace:
             cell = self.ledger.setdefault(key, [0.0, 0.0])
             cell[0] += nbytes
             cell[1] += chunks
-        combined = sorted(list(self.events) + list(other.events),
+        combined = sorted(list(self.events) + other_events,
                           key=lambda e: e.ts)
         capacity = max(self.events.capacity, other.events.capacity,
                        len(combined) or 1)
@@ -246,6 +328,8 @@ class Trace:
         merged.dropped = dropped
         self.events = merged
         self._flow_seq = max(self._flow_seq, other._flow_seq)
+        self._ctx_seq = max(self._ctx_seq, other._ctx_seq,
+                            max(self.contexts, default=0))
         self.tick(other.clock)
 
     def report(self, prefix: str = "") -> dict[str, float]:
@@ -415,6 +499,8 @@ class Trace:
             "ledger": [[link, actor, direction, cell[0], cell[1]]
                        for (link, actor, direction), cell
                        in sorted(self.ledger.items())],
+            "contexts": {str(qid): dict(ctx) for qid, ctx
+                         in sorted(self.contexts.items())},
         }
 
     @classmethod
@@ -449,4 +535,7 @@ class Trace:
                 "ledger", []):
             trace.ledger[(link, actor, direction)] = [float(nbytes),
                                                       float(chunks)]
+        for qid, ctx in data.get("contexts", {}).items():
+            trace.contexts[int(qid)] = dict(ctx)
+        trace._ctx_seq = max(trace.contexts, default=0)
         return trace

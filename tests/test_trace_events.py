@@ -111,7 +111,7 @@ def test_trace_v2_round_trip_with_events_and_ledger():
     trace.emit(0.7, EventKind.CHUNK_RECV, "g.a->b", flow_id=1)
     trace.record_movement("net0", "g.a", "x->y", 100.0)
     data = trace.to_dict()
-    assert data["schema"] == TRACE_SCHEMA == "repro.trace/v2"
+    assert data["schema"] == TRACE_SCHEMA == "repro.trace/v3"
     rebuilt = Trace.from_dict(json.loads(json.dumps(data)))
     assert [e for e in rebuilt.events] == [e for e in trace.events]
     assert rebuilt.ledger == trace.ledger
