@@ -124,10 +124,12 @@ def test_micro_pipeline_unfused(benchmark, chunk_rows):
 
 
 @pytest.mark.parametrize("chunk_rows", [1_000, 10_000, 100_000])
-def test_micro_pipeline_fused(benchmark, chunk_rows):
-    """Fused path: one dispatch per morsel, lazy selection between
-    steps.  Compare against ``test_micro_pipeline_unfused`` at the
-    same chunk size for the fusion speedup."""
+def test_micro_pipeline_fused(benchmark, chunk_rows, monkeypatch):
+    """Fused closure path: one dispatch per morsel, lazy selection
+    between steps.  Compare against ``test_micro_pipeline_unfused``
+    at the same chunk size for the fusion speedup, and against
+    ``test_micro_pipeline_codegen`` for the codegen speedup."""
+    monkeypatch.setenv("REPRO_NO_CODEGEN", "1")
     chunk = big_chunk().slice(0, chunk_rows)
     ops = _pipeline_ops()
     [fused] = fuse_ops(ops)
@@ -136,6 +138,94 @@ def test_micro_pipeline_fused(benchmark, chunk_rows):
     assert result.materialize().sorted_rows() == reference.sorted_rows()
     benchmark.extra_info["rows"] = chunk_rows
     benchmark.extra_info["variant"] = "fused"
+
+
+@pytest.mark.parametrize("chunk_rows", [1_000, 10_000, 100_000])
+def test_micro_pipeline_codegen(benchmark, chunk_rows, monkeypatch):
+    """Generated-kernel path: the fused chain lowered to one flat
+    function (predicates inlined, no per-step closures or chunks)."""
+    monkeypatch.delenv("REPRO_NO_CODEGEN", raising=False)
+    chunk = big_chunk().slice(0, chunk_rows)
+    ops = _pipeline_ops()
+    [fused] = fuse_ops(ops)
+    reference = _run_unfused(_pipeline_ops(), chunk)
+    # Resolve (compile or load) outside the timed region.
+    _run_fused(fused, chunk)
+    assert fused.kernel_origin in ("compiled", "memory", "disk")
+    result = benchmark(_run_fused, fused, chunk)
+    assert result.materialize().sorted_rows() == reference.sorted_rows()
+    benchmark.extra_info["rows"] = chunk_rows
+    benchmark.extra_info["variant"] = "codegen"
+
+
+STRING_ROWS = 200_000
+
+
+def _string_chunks():
+    """The same lineitem rows, arena-backed vs plain dict-of-arrays.
+
+    The arena chunk carries dictionary codes for its string columns;
+    the dict chunk holds the decoded unicode arrays — the layout the
+    store used before arenas.  Same values, different physical form.
+    """
+    from repro.relational import Chunk
+    from repro.relational.datagen import make_lineitem
+    table = make_lineitem(STRING_ROWS, chunk_rows=STRING_ROWS)
+    arena_chunk = table.chunks[0]
+    dict_chunk = Chunk(table.schema, dict(arena_chunk.columns))
+    assert arena_chunk.dict_codes("l_returnflag") is not None
+    assert dict_chunk.dict_codes("l_returnflag") is None
+    return arena_chunk, dict_chunk
+
+
+def _groupby_op(schema):
+    return PartialAggregate(schema, ["l_returnflag"],
+                            [AggSpec("sum", "l_extendedprice", "rev"),
+                             AggSpec("count", alias="n")])
+
+
+def test_micro_groupby_string_arena(benchmark):
+    """Group-by over a dict-encoded string key: unique on int32
+    codes, decode only the handful of group labels."""
+    chunk, _ = _string_chunks()
+    op = _groupby_op(chunk.schema)
+    result = benchmark(op.process, chunk)
+    assert result[0].chunk.num_rows == 3
+    benchmark.extra_info["rows"] = STRING_ROWS
+    benchmark.extra_info["variant"] = "arena"
+
+
+def test_micro_groupby_string_dict(benchmark):
+    """Reference: the same group-by over decoded unicode rows."""
+    _, chunk = _string_chunks()
+    op = _groupby_op(chunk.schema)
+    result = benchmark(op.process, chunk)
+    assert result[0].chunk.num_rows == 3
+    benchmark.extra_info["rows"] = STRING_ROWS
+    benchmark.extra_info["variant"] = "dict"
+
+
+def test_micro_like_filter_arena(benchmark):
+    """LIKE over a dict-encoded column: one regex per pool entry,
+    verdicts gathered by code."""
+    chunk, _ = _string_chunks()
+    op = FilterOp(col("l_comment").like("%ab%"))
+    result = benchmark(op.process, chunk)
+    benchmark.extra_info["rows"] = STRING_ROWS
+    benchmark.extra_info["variant"] = "arena"
+    benchmark.extra_info["hits"] = (
+        result[0].chunk.num_rows if result else 0)
+
+
+def test_micro_like_filter_dict(benchmark):
+    """Reference: the same LIKE, one regex match per row."""
+    _, chunk = _string_chunks()
+    op = FilterOp(col("l_comment").like("%ab%"))
+    result = benchmark(op.process, chunk)
+    benchmark.extra_info["rows"] = STRING_ROWS
+    benchmark.extra_info["variant"] = "dict"
+    benchmark.extra_info["hits"] = (
+        result[0].chunk.num_rows if result else 0)
 
 
 def test_micro_sort_throughput(benchmark):

@@ -329,6 +329,16 @@ def _warm_runtime() -> None:
     np.unique(np.empty(0, dtype=np.int64))
     np.random.default_rng(0)
     from .engine import kernels  # noqa: F401
+    # Query codegen: generating + exec-ing a throwaway kernel pays the
+    # bytecode compiler, hashlib, and regex machinery once, without
+    # touching the counters or the persistent kernel cache.
+    from .engine import codegen
+    from .engine.operators import FilterOp, ProjectOp
+    from .relational.expressions import col, lit
+    from .relational.schema import DataType, Field, Schema
+    schema = Schema([Field("w", DataType.INT64)])
+    parts = [FilterOp(col("w") > lit(0)), ProjectOp(["w"])]
+    codegen._exec_body("warmup", codegen.generate_source(parts, schema))
 
 
 def _warm_catalogs(tasks: list[tuple[str, int]], jobs: int) -> None:

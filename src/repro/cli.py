@@ -190,9 +190,15 @@ def cmd_query(args) -> int:
         placement = pushdown(query.plan, fabric)
     else:
         placement = cpu_only(query.plan, fabric)
-    if args.plan:
+    if args.plan or args.show_kernel:
         graph = engine.compile(query, placement=placement)
-        _print_plan(graph, placement)
+        if args.plan:
+            _print_plan(graph, placement)
+        if args.show_kernel:
+            # Kernels resolve lazily against the first real chunk, so
+            # run the graph before reading the resolution state.
+            graph.run()
+            _print_kernels(graph)
         return 0
     result = engine.execute(query, placement=placement)
     print(f"placement: {placement.name}   rows out: {result.rows:,}")
@@ -233,6 +239,46 @@ def _print_plan(graph, placement) -> None:
             print(f"  -> materialize at stage boundary "
                   f"({len(stage.outputs)} output channel"
                   f"{'s' if len(stage.outputs) != 1 else ''})")
+
+
+def _print_kernels(graph) -> None:
+    """Render each fused segment's generated-kernel resolution.
+
+    Shows the cache fingerprint, where the kernel came from
+    (compiled / memory / disk — i.e. miss vs hit), and the generated
+    source itself; segments on the closure path say why.
+    """
+    from .engine import codegen
+    from .engine.fusion import FusedOp
+    seen: set = set()
+    printed = False
+    for stage in graph.stages.values():
+        for op in stage.ops:
+            if not isinstance(op, FusedOp):
+                continue
+            info = op.kernel_info()
+            key = info["fingerprint"] or info["name"]
+            if key in seen:
+                continue
+            seen.add(key)
+            printed = True
+            print(f"\nkernel for {info['name']}")
+            if info["fingerprint"] is None:
+                reason = ("codegen disabled (REPRO_NO_CODEGEN)"
+                          if info["origin"] == "disabled"
+                          else "pipeline not lowerable; closure path")
+                print(f"  {reason}")
+                continue
+            hit = "miss" if info["origin"] == "compiled" else "hit"
+            print(f"  fingerprint: {info['fingerprint']}")
+            print(f"  origin: {info['origin']} (cache {hit})")
+            source = info["source"]
+            if source is None:
+                source = codegen.cached_source(info["fingerprint"])
+            for line in (source or "").rstrip().splitlines():
+                print(f"  | {line}")
+    if not printed:
+        print("\nno fused segments (nothing to lower to kernels)")
 
 
 def _print_stalls(trace) -> None:
@@ -545,10 +591,19 @@ def cmd_serve(args) -> int:
         checked = record["verification"]["queries_checked"]
         print(f"  verified: {checked} results bit-identical to "
               "standalone runs; accounting + telemetry exact")
-    if args.report:
+    if args.report is not None:
+        import os
+
         from .serve import write_dashboard
+        # Bare --report defaults under benchmarks/results/, which is
+        # gitignored — reports never land in the repo root.
+        report = args.report or os.path.join(
+            "benchmarks", "results", f"serve_{record['name']}.html")
+        report_dir = os.path.dirname(report)
+        if report_dir:
+            os.makedirs(report_dir, exist_ok=True)
         html_path, json_path = write_dashboard(
-            args.report, record,
+            report, record,
             title=f"Serving dashboard — {record['name']}")
         print(f"  dashboard: {html_path} (+ {json_path})")
     if args.out:
@@ -613,6 +668,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--spec", default="dataflow",
                        choices=["dataflow", "conventional"])
     query.add_argument("--zonemaps", action="store_true")
+    query.add_argument("--show-kernel", action="store_true",
+                       help="print each fused segment's generated "
+                            "kernel source with its cache key and "
+                            "hit/miss origin (runs the query)")
     query.add_argument("--plan", action="store_true",
                        help="print the compiled stage graph with "
                             "fusion-segment boundaries instead of "
@@ -735,7 +794,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("-o", "--out", default=None,
                        help="write the full repro.bench/v3 serving "
                             "record (incl. per-query records) here")
-    serve.add_argument("--report", default=None, metavar="HTML",
+    serve.add_argument("--report", nargs="?", const="", default=None,
+                       metavar="HTML",
                        help="write the self-contained serving "
                             "dashboard here (telemetry JSON lands "
                             "alongside)")

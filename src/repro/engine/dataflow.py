@@ -320,8 +320,10 @@ class DataflowEngine:
             # the partial aggregate they feed) into fused operators.
             # Charges are reported per original part, so the stage
             # graph's simulated behavior is bit-identical either way.
+            from . import codegen
+            context = codegen.fabric_context(self.fabric)
             for stage in graph.stages.values():
-                stage.ops = fuse_ops(stage.ops)
+                stage.ops = fuse_ops(stage.ops, context)
         return graph
 
     def execute(self, plan, placement: Optional[Placement] = None,
@@ -349,6 +351,8 @@ class DataflowEngine:
         trace.add("engine.dataflow.queries", 1)
         trace.add("engine.dataflow.stages", len(graph.stages))
         trace.add("engine.dataflow.rows_out", table.num_rows)
+        from . import codegen
+        codegen.drain_trace_counters(trace)
         return QueryResult(
             table=table,
             elapsed=flow.elapsed,

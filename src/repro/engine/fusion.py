@@ -25,9 +25,16 @@ exactly where the unfused executor's early-exit would.  The pipeline
 result is memoised so the ``process()`` call that follows the charges
 does no second pass.
 
+On top of the closure pipeline, :mod:`repro.engine.codegen` lowers
+each fused chain to generated flat source — compiled once per
+(pipeline, schema, fabric) fingerprint and cached in-process and on
+disk — which replays byte-identical charges.  The closure steps stay
+as the reference path and the fallback for anything codegen declines.
+
 ``REPRO_NO_FUSE=1`` forces the reference (unfused) path, mirroring
-the kernel fast path's ``REPRO_SLOW_KERNEL``; the regression gate
-compares both at ``--tolerance 0``.
+the kernel fast path's ``REPRO_SLOW_KERNEL``; ``REPRO_NO_CODEGEN=1``
+keeps fusion but forces the closure pipeline; the regression gate
+compares all of them at ``--tolerance 0``.
 """
 
 from __future__ import annotations
@@ -120,7 +127,7 @@ class FusedOp(PhysicalOp):
     the bytes that part's input would have had.
     """
 
-    def __init__(self, parts: Sequence[PhysicalOp]):
+    def __init__(self, parts: Sequence[PhysicalOp], context: str = ""):
         parts = list(parts)
         if len(parts) < 2:
             raise ValueError("fusion needs at least two operators")
@@ -139,6 +146,37 @@ class FusedOp(PhysicalOp):
         # and then calls process() on the same chunk object.
         self._memo_chunk: Optional[Chunk] = None
         self._memo_out: Optional[Chunk] = None
+        # Generated-kernel state: resolved lazily against the first
+        # chunk's schema (compile-time plans don't thread schemas into
+        # fusion, and the disk cache key needs the real input shape).
+        # ``False`` marks a pipeline that stays on the closure path.
+        self.context = context
+        self._kernel = None
+        self._entry_schema = None
+        self.kernel_origin: Optional[str] = None
+        self.kernel_fingerprint: Optional[str] = None
+
+    def _resolve_kernel(self, schema) -> None:
+        from . import codegen
+        kernel, origin, fingerprint = codegen.resolve(
+            self.parts, schema, self.context)
+        self._entry_schema = schema
+        self._kernel = kernel if kernel is not None else False
+        self.kernel_origin = origin
+        self.kernel_fingerprint = fingerprint
+
+    def kernel_info(self) -> dict:
+        """Resolution state for ``--show-kernel`` and diagnostics."""
+        from . import codegen
+        source = None
+        if self.kernel_fingerprint is not None:
+            source = codegen.cached_source(self.kernel_fingerprint)
+        return {
+            "name": self.name,
+            "origin": self.kernel_origin,
+            "fingerprint": self.kernel_fingerprint,
+            "source": source,
+        }
 
     def fused_parts(self) -> list[PhysicalOp]:
         return list(self.parts)
@@ -155,6 +193,15 @@ class FusedOp(PhysicalOp):
         """
         if chunk.num_rows == 0:
             return None
+        if self._entry_schema is not chunk.schema:
+            if (self._entry_schema is not None
+                    and self._entry_schema.fields == chunk.schema.fields):
+                self._entry_schema = chunk.schema
+            else:
+                self._resolve_kernel(chunk.schema)
+        kernel = self._kernel
+        if kernel is not False:
+            return kernel(chunk, charges)
         current: Optional[Chunk] = chunk
         first = True
         for part, step in self._steps:
@@ -188,21 +235,23 @@ class FusedOp(PhysicalOp):
         return [Emit(out)]
 
 
-def fuse_ops(ops: Sequence[PhysicalOp]) -> list[PhysicalOp]:
+def fuse_ops(ops: Sequence[PhysicalOp],
+             context: str = "") -> list[PhysicalOp]:
     """Rewrite an operator chain, fusing maximal linear runs.
 
     A run is a maximal stretch of streaming operators
     (filter/project/map), optionally extended by the terminal
     operator it feeds (partial aggregation).  Runs of length >= 2
     become one :class:`FusedOp`; everything else passes through
-    unchanged, in order.
+    unchanged, in order.  ``context`` (the fabric fingerprint) keys
+    the generated-kernel cache alongside the pipeline itself.
     """
     fused: list[PhysicalOp] = []
     run: list[PhysicalOp] = []
 
     def close(run: list[PhysicalOp]) -> None:
         if len(run) >= 2:
-            fused.append(FusedOp(run))
+            fused.append(FusedOp(run, context))
         else:
             fused.extend(run)
 

@@ -229,8 +229,16 @@ def group_inverse(chunk: Chunk,
         # ascending, like the structured-record path, so groups and
         # inverse indices are identical) without building records.
         g = group_by[0]
-        values = chunk.columns[g]
-        unique, inverse = _unique_inverse(values)
+        codes = chunk.dict_codes(g)
+        if codes is not None:
+            # Dictionary-encoded key: unique over the int32 codes
+            # (bincount counting path) and decode just the survivors.
+            # The pool is sorted, so ascending codes are ascending
+            # values — groups and inverse match the decoded path.
+            unique_codes, inverse = _unique_inverse(codes)
+            unique = chunk.dict_pool(g)[unique_codes]
+        else:
+            unique, inverse = _unique_inverse(chunk.columns[g])
         groups = Chunk(chunk.schema.project([g]), {g: unique})
         return groups, inverse.astype(np.int64)
     dtype = [(g, chunk.columns[g].dtype) for g in group_by]

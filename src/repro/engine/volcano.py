@@ -319,7 +319,8 @@ class VolcanoEngine:
         else:
             child = self._build(node)
         if fusion_enabled():
-            ops = fuse_ops(ops)
+            from . import codegen
+            ops = fuse_ops(ops, codegen.fabric_context(self.fabric))
         for op in ops:
             child = _StreamIter(self, child, op)
         return child
@@ -374,6 +375,8 @@ class VolcanoEngine:
         trace.add("engine.volcano.queries", 1)
         trace.add("engine.volcano.chunks_out", len(collected))
         trace.add("engine.volcano.rows_out", table.num_rows)
+        from . import codegen
+        codegen.drain_trace_counters(trace)
         return QueryResult(
             table=table,
             elapsed=finished - started,

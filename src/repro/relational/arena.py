@@ -1,0 +1,168 @@
+"""Arena columnar storage: one contiguous buffer per column.
+
+A :class:`Arena` owns the physical storage of a table built in one
+shot (``Table.from_arrays``): each column is a single contiguous
+array covering every row, and chunks become zero-copy ``[start,
+stop)`` views instead of per-chunk copies.  String columns are
+dictionary-encoded — a *sorted* pool of distinct values plus an
+``int32`` code per row — so gathers, group-bys, and equality work
+touch 4-byte codes instead of fixed-width unicode rows.  Because the
+pool is sorted, code order equals lexicographic order: ``np.unique``
+over codes and ``np.unique`` over the decoded strings yield the same
+groups in the same order, which is what keeps dictionary encoding
+invisible to checksums and simulated byte counts.
+
+The arena is a *physical* layout change only.  Logical byte counts —
+``chunk.nbytes``, the quantity charged to devices and links — are
+still ``rows x schema.row_nbytes`` exactly as if every column were
+dense, so the simulation cannot tell an arena-backed table from a
+dict-of-arrays one (the regression gate compares at tolerance 0).
+
+Validity masks ride along structurally (one optional boolean array
+per column, ``True`` = present); the current workloads are NULL-free
+so no operator consults them yet, but the storage, slicing, and
+round-trip contracts are in place and tested.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .schema import DataType, Schema
+
+__all__ = ["Arena", "ArenaColumn"]
+
+#: Dictionary-encode a string column only when the pool is smaller
+#: than the rows it describes — a pool as large as the data would
+#: cost a gather per read and save nothing.
+_DICT_MAX_POOL_FRACTION = 0.75
+
+
+class ArenaColumn:
+    """One column's physical storage inside an arena.
+
+    Either plain (``buffer`` holds the values) or dictionary-encoded
+    (``codes`` holds int32 indices into the sorted ``pool``).  An
+    optional ``validity`` boolean array marks present rows.
+    """
+
+    __slots__ = ("buffer", "codes", "pool", "validity")
+
+    def __init__(self, buffer: Optional[np.ndarray] = None,
+                 codes: Optional[np.ndarray] = None,
+                 pool: Optional[np.ndarray] = None,
+                 validity: Optional[np.ndarray] = None):
+        if (buffer is None) == (codes is None):
+            raise ValueError("column is either plain or dict-encoded")
+        if (codes is None) != (pool is None):
+            raise ValueError("codes and pool come together")
+        self.buffer = buffer
+        self.codes = codes
+        self.pool = pool
+        self.validity = validity
+
+    @property
+    def is_dict(self) -> bool:
+        return self.codes is not None
+
+    def __len__(self) -> int:
+        store = self.codes if self.buffer is None else self.buffer
+        return len(store)
+
+    def decode(self, start: int, stop: int) -> np.ndarray:
+        """The logical values of rows [start, stop) as a dense array."""
+        if self.buffer is not None:
+            return self.buffer[start:stop]
+        return self.pool[self.codes[start:stop]]
+
+
+def _encode(values: np.ndarray) -> ArenaColumn:
+    """Dictionary-encode ``values`` when profitable, else store plain."""
+    if values.dtype.kind == "U" and len(values):
+        pool, codes = np.unique(values, return_inverse=True)
+        if len(pool) <= _DICT_MAX_POOL_FRACTION * len(values):
+            return ArenaColumn(codes=np.ascontiguousarray(
+                codes, dtype=np.int32), pool=pool)
+    return ArenaColumn(buffer=np.ascontiguousarray(values))
+
+
+class Arena:
+    """Contiguous SoA storage for one table's rows."""
+
+    __slots__ = ("schema", "num_rows", "columns", "_row_nbytes",
+                 "_full_cache")
+
+    def __init__(self, schema: Schema, columns: dict[str, ArenaColumn],
+                 num_rows: int):
+        self.schema = schema
+        self.columns = columns
+        self.num_rows = num_rows
+        self._row_nbytes = schema.row_nbytes
+        # Full-column decodes (Table.column, checksums) cached once.
+        self._full_cache: dict[str, np.ndarray] = {}
+
+    @classmethod
+    def build(cls, schema: Schema, columns: dict[str, np.ndarray],
+              validity: Optional[dict[str, np.ndarray]] = None,
+              dictionary: bool = True) -> "Arena":
+        """Arena storage for already-validated, schema-typed arrays."""
+        validity = validity or {}
+        store: dict[str, ArenaColumn] = {}
+        rows = 0
+        for field in schema.fields:
+            values = columns[field.name]
+            rows = len(values)
+            if dictionary and field.dtype == DataType.STRING:
+                column = _encode(values)
+            else:
+                column = ArenaColumn(buffer=np.ascontiguousarray(values))
+            mask = validity.get(field.name)
+            if mask is not None:
+                mask = np.ascontiguousarray(mask, dtype=bool)
+                if len(mask) != rows:
+                    raise ValueError(
+                        f"validity length {len(mask)} != rows {rows} "
+                        f"for column {field.name!r}")
+                column.validity = mask
+            store[field.name] = column
+        return cls(schema, store, rows)
+
+    def column_slice(self, name: str, start: int, stop: int) -> np.ndarray:
+        """Decoded values of one column over [start, stop)."""
+        if start == 0 and stop >= self.num_rows:
+            return self.full_column(name)
+        return self.columns[name].decode(start, stop)
+
+    def full_column(self, name: str) -> np.ndarray:
+        """The whole column decoded once and cached."""
+        values = self._full_cache.get(name)
+        if values is None:
+            values = self.columns[name].decode(0, self.num_rows)
+            self._full_cache[name] = values
+        return values
+
+    def codes_slice(self, name: str, start: int,
+                    stop: int) -> Optional[np.ndarray]:
+        """Dictionary codes over [start, stop), or None if plain."""
+        column = self.columns[name]
+        if column.codes is None:
+            return None
+        return column.codes[start:stop]
+
+    def pool(self, name: str) -> Optional[np.ndarray]:
+        return self.columns[name].pool
+
+    def validity_slice(self, name: str, start: int,
+                       stop: int) -> Optional[np.ndarray]:
+        """Validity mask over [start, stop), or None if all-valid."""
+        mask = self.columns[name].validity
+        if mask is None:
+            return None
+        return mask[start:stop]
+
+    def __repr__(self) -> str:
+        encoded = sum(1 for c in self.columns.values() if c.is_dict)
+        return (f"<Arena {self.num_rows} rows x {len(self.columns)} cols,"
+                f" {encoded} dict-encoded>")

@@ -393,13 +393,37 @@ class Like(Expression):
         match = self._compiled.match
         operand = self.operand.compiled()
 
-        def run(chunk: Chunk) -> np.ndarray:
+        def run_values(values: list) -> np.ndarray:
             # tolist() converts to python scalars in one pass, which
             # is much cheaper than per-element numpy indexing.
-            values = operand(chunk).tolist()
             return np.fromiter(
                 (match(str(v)) is not None for v in values),
                 dtype=bool, count=len(values))
+
+        if not isinstance(self.operand, Col):
+            return lambda chunk: run_values(operand(chunk).tolist())
+
+        # Column operand: dictionary-encoded arena columns match the
+        # regex against the (small, shared) pool once, then gather the
+        # boolean verdicts by code — identical values, one regex per
+        # distinct string instead of one per row.  The per-pool mask
+        # is cached; holding the pool in the cache entry keeps its id
+        # stable, so the identity check is exact.
+        name = self.operand.name
+        pool_masks: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+        def run(chunk: Chunk) -> np.ndarray:
+            codes = chunk.dict_codes(name)
+            if codes is None:
+                return run_values(operand(chunk).tolist())
+            pool = chunk.dict_pool(name)
+            entry = pool_masks.get(id(pool))
+            if entry is None or entry[0] is not pool:
+                mask = run_values(pool.tolist())
+                pool_masks[id(pool)] = (pool, mask)
+            else:
+                mask = entry[1]
+            return mask[codes]
         return run
 
     def required_columns(self) -> set[str]:

@@ -67,7 +67,9 @@ def deserialize_chunk(payload: bytes) -> Chunk:
         raw = payload[offset:offset + nbytes]
         columns[f.name] = np.frombuffer(raw, dtype=f.numpy_dtype).copy()
         offset += nbytes
-    return Chunk(schema, columns)
+    # frombuffer yields exact schema dtypes, so the checked
+    # constructor's coercion pass has nothing to do — skip it.
+    return Chunk._from_valid(schema, columns)
 
 
 def compress_bytes(payload: bytes, level: int = 1) -> bytes:

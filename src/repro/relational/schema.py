@@ -78,6 +78,7 @@ class Schema:
             raise ValueError(f"duplicate column names in {names}")
         self._by_name = {f.name: f for f in self.fields}
         self._names = names
+        self._row_nbytes: int = -1
 
     @classmethod
     def of(cls, *specs: tuple) -> "Schema":
@@ -116,8 +117,16 @@ class Schema:
 
     @property
     def row_nbytes(self) -> int:
-        """Bytes per row in columnar layout."""
-        return sum(f.value_nbytes for f in self.fields)
+        """Bytes per row in columnar layout (computed once).
+
+        Chunk byte counts — the quantity every simulated device and
+        link charges — are ``rows x row_nbytes``, evaluated per chunk
+        per operator, so the per-field sum is cached on first use
+        (fields are immutable after construction).
+        """
+        if self._row_nbytes < 0:
+            self._row_nbytes = sum(f.value_nbytes for f in self.fields)
+        return self._row_nbytes
 
     def project(self, names: Iterable[str]) -> "Schema":
         """A schema containing only ``names``, in the given order."""

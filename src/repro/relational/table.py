@@ -17,6 +17,7 @@ from typing import Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
+from .arena import Arena
 from .schema import Field, Schema
 
 __all__ = ["Chunk", "Table"]
@@ -26,7 +27,8 @@ class _SelectionColumns(Mapping):
     """Columns viewed through a selection index, gathered lazily.
 
     Backs a chunk in selection-vector mode: ``base`` holds the dense
-    parent columns, ``sel`` the row indices this view selects.  A
+    parent columns (a plain dict or an :class:`_ArenaColumns` over
+    arena storage), ``sel`` the row indices this view selects.  A
     column is gathered (``base[name][sel]``) only when first read and
     cached, so fused pipeline stages that never touch a column never
     pay for it.  Iteration (``dict(...)``, ``.items()``) gathers every
@@ -34,11 +36,11 @@ class _SelectionColumns(Mapping):
     needs.
     """
 
-    __slots__ = ("names", "base", "sel", "_cache")
+    __slots__ = ("schema", "names", "base", "sel", "_cache")
 
-    def __init__(self, names: tuple[str, ...], base: dict[str, np.ndarray],
-                 sel: np.ndarray):
-        self.names = names
+    def __init__(self, schema: Schema, base, sel: np.ndarray):
+        self.schema = schema
+        self.names = tuple(schema.names)
         self.base = base
         self.sel = sel
         self._cache: dict[str, np.ndarray] = {}
@@ -59,11 +61,81 @@ class _SelectionColumns(Mapping):
         return len(self.names)
 
     @property
+    def num_rows(self) -> int:
+        return len(self.sel)
+
+    @property
     def nbytes(self) -> int:
-        """Bytes the gathered columns occupy — without gathering."""
-        rows = len(self.sel)
-        return sum(rows * self.base[name].dtype.itemsize
-                   for name in self.names)
+        """Bytes the gathered columns occupy — without gathering.
+
+        ``rows x row_nbytes`` of the viewed schema: the base columns
+        went through the checked constructor (or arena build) once,
+        so their dtypes are exactly the schema's declared dtypes.
+        """
+        return len(self.sel) * self.schema.row_nbytes
+
+
+class _ArenaColumns(Mapping):
+    """Columns backed by a ``[start, stop)`` window of arena storage.
+
+    Zero-copy for plain columns (a contiguous buffer slice) and
+    decode-on-first-read for dictionary-encoded ones, with the decoded
+    slice cached so repeated reads (stage boundaries, checksums) pay
+    once.  ``nbytes`` is the *logical* size — rows times the schema's
+    declared row width — never the encoded physical size, so the
+    simulation charges arena-backed chunks identically to dense ones.
+    """
+
+    __slots__ = ("arena", "start", "stop", "schema", "_cache")
+
+    def __init__(self, arena: Arena, start: int, stop: int,
+                 schema: Schema,
+                 cache: Optional[dict[str, np.ndarray]] = None):
+        self.arena = arena
+        self.start = start
+        self.stop = stop
+        self.schema = schema
+        self._cache: dict[str, np.ndarray] = (
+            {} if cache is None else cache)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        column = self._cache.get(name)
+        if column is None:
+            if name not in self.schema:
+                raise KeyError(name)
+            column = self.arena.column_slice(name, self.start, self.stop)
+            self._cache[name] = column
+        return column
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.schema.names)
+
+    def __len__(self) -> int:
+        return len(self.schema.names)
+
+    @property
+    def num_rows(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def nbytes(self) -> int:
+        return (self.stop - self.start) * self.schema.row_nbytes
+
+    def codes(self, name: str) -> Optional[np.ndarray]:
+        """Dictionary codes for ``name`` over this window, or None."""
+        if name not in self.schema:
+            return None
+        return self.arena.codes_slice(name, self.start, self.stop)
+
+    def pool(self, name: str) -> Optional[np.ndarray]:
+        if name not in self.schema:
+            return None
+        return self.arena.pool(name)
+
+    def validity(self, name: str) -> Optional[np.ndarray]:
+        if name not in self.schema:
+            return None
+        return self.arena.validity_slice(name, self.start, self.stop)
 
 
 class Chunk:
@@ -105,8 +177,7 @@ class Chunk:
         return chunk
 
     @classmethod
-    def _view(cls, schema: Schema, base: dict[str, np.ndarray],
-              sel: np.ndarray) -> "Chunk":
+    def _view(cls, schema: Schema, base, sel: np.ndarray) -> "Chunk":
         """A zero-copy selection view over dense ``base`` columns.
 
         Nothing is gathered until a column is read; ``num_rows`` and
@@ -116,8 +187,18 @@ class Chunk:
         """
         chunk = cls.__new__(cls)
         chunk.schema = schema
-        chunk.columns = _SelectionColumns(tuple(schema.names), base, sel)
+        chunk.columns = _SelectionColumns(schema, base, sel)
         chunk._sel = sel
+        return chunk
+
+    @classmethod
+    def _from_arena(cls, schema: Schema, arena: Arena, start: int,
+                    stop: int,
+                    cache: Optional[dict[str, np.ndarray]] = None) -> "Chunk":
+        """A zero-copy window over arena storage (rows [start, stop))."""
+        chunk = cls.__new__(cls)
+        chunk.schema = schema
+        chunk.columns = _ArenaColumns(arena, start, stop, schema, cache)
         return chunk
 
     @classmethod
@@ -149,14 +230,18 @@ class Chunk:
             return 0
         if self._sel is not None:
             return len(self._sel)
-        return len(self.columns[self.schema.names[0]])
+        columns = self.columns
+        if type(columns) is dict:
+            return len(columns[self.schema.names[0]])
+        return columns.num_rows
 
     @property
     def nbytes(self) -> int:
         """Exact bytes of column data (drives simulated movement)."""
-        if self._sel is not None:
-            return self.columns.nbytes
-        return sum(col.nbytes for col in self.columns.values())
+        columns = self.columns
+        if type(columns) is dict:
+            return sum(col.nbytes for col in columns.values())
+        return columns.nbytes
 
     def column(self, name: str) -> np.ndarray:
         return self.columns[name]
@@ -175,8 +260,14 @@ class Chunk:
         schema = self.schema.project(names)
         if self._sel is not None:
             return Chunk._view(schema, self.columns.base, self._sel)
+        columns = self.columns
+        if type(columns) is _ArenaColumns:
+            # Same storage window, restricted schema; the decode
+            # cache is shared so either view's reads warm both.
+            return Chunk._from_arena(schema, columns.arena, columns.start,
+                                     columns.stop, columns._cache)
         return Chunk._from_valid(schema,
-                                 {n: self.columns[n] for n in names})
+                                 {n: columns[n] for n in names})
 
     def filter(self, mask: np.ndarray) -> "Chunk":
         """Rows where ``mask`` is true — a lazy selection view.
@@ -198,6 +289,10 @@ class Chunk:
         if self._sel is not None:
             return Chunk._view(self.schema, self.columns.base,
                                self._sel[indices])
+        if type(self.columns) is _ArenaColumns:
+            # Gather lazily: only columns actually read pay a decode.
+            return Chunk._view(self.schema, self.columns,
+                               np.asarray(indices))
         return Chunk._from_valid(
             self.schema,
             {n: col[indices] for n, col in self.columns.items()})
@@ -206,15 +301,24 @@ class Chunk:
         if self._sel is not None:
             return Chunk._view(self.schema, self.columns.base,
                                self._sel[start:stop])
+        columns = self.columns
+        if type(columns) is _ArenaColumns:
+            rows = columns.num_rows
+            lo = min(max(start, 0), rows)
+            hi = min(max(stop, lo), rows)
+            return Chunk._from_arena(self.schema, columns.arena,
+                                     columns.start + lo, columns.start + hi)
         return Chunk._from_valid(
             self.schema,
-            {n: col[start:stop] for n, col in self.columns.items()})
+            {n: col[start:stop] for n, col in columns.items()})
 
     def materialize(self) -> "Chunk":
         """This chunk with every column gathered into dense storage.
 
-        Dense chunks return themselves; selection views gather each
-        column once (through the view's cache) and drop the index.
+        Dense and arena-backed chunks return themselves (arena windows
+        already are settled storage — reads are buffer slices or
+        cached decodes); selection views gather each column once
+        (through the view's cache) and drop the index.
         Fusion-segment boundaries — emit onto a channel, partition,
         join build/probe, aggregate state update, table assembly —
         call this so laziness never escapes a pipeline segment.
@@ -245,6 +349,55 @@ class Chunk:
                    for n, col in self.columns.items()}
         return Chunk._from_valid(schema, columns)
 
+    # -- dictionary / validity introspection -----------------------------------
+
+    def dict_codes(self, name: str) -> Optional[np.ndarray]:
+        """Dictionary codes for column ``name``, or None if not encoded.
+
+        Codes are int32 indices into the *sorted* pool returned by
+        :meth:`dict_pool`, so code order equals value order — fast
+        paths (group-by, LIKE over the pool) built on codes produce
+        results bit-identical to the decoded column.  Selection views
+        over arena storage gather the codes through their index.
+        """
+        columns = self.columns
+        if self._sel is not None:
+            base = columns.base
+            if type(base) is _ArenaColumns:
+                codes = base.codes(name)
+                if codes is not None:
+                    return codes[self._sel]
+            return None
+        if type(columns) is _ArenaColumns:
+            return columns.codes(name)
+        return None
+
+    def dict_pool(self, name: str) -> Optional[np.ndarray]:
+        """The sorted dictionary pool for ``name``, or None."""
+        columns = self.columns
+        if self._sel is not None:
+            base = columns.base
+            if type(base) is _ArenaColumns:
+                return base.pool(name)
+            return None
+        if type(columns) is _ArenaColumns:
+            return columns.pool(name)
+        return None
+
+    def validity(self, name: str) -> Optional[np.ndarray]:
+        """Row validity mask for ``name`` (None means all valid)."""
+        columns = self.columns
+        if self._sel is not None:
+            base = columns.base
+            if type(base) is _ArenaColumns:
+                mask = base.validity(name)
+                if mask is not None:
+                    return mask[self._sel]
+            return None
+        if type(columns) is _ArenaColumns:
+            return columns.validity(name)
+        return None
+
     # -- test/oracle helpers ---------------------------------------------------
 
     def to_rows(self) -> list[tuple]:
@@ -272,19 +425,42 @@ class Table:
         self.schema = schema
         self.name = name
         self._chunks: list[Chunk] = []
+        self._arena: Optional[Arena] = None
         for chunk in chunks or []:
             self.append(chunk)
 
     @classmethod
     def from_arrays(cls, schema: Schema, columns: dict[str, np.ndarray],
                     name: str = "", chunk_rows: int = 65536) -> "Table":
-        """Build a table, splitting the arrays into fixed-size chunks."""
-        big = Chunk(schema, columns)
+        """Build a table over arena storage, chunked as window views.
+
+        The arrays become one contiguous arena (strings dictionary-
+        encoded when profitable); each chunk is a zero-copy ``[start,
+        stop)`` view of it, so chunking copies nothing and whole-
+        column reads (:meth:`column`, :meth:`combined`) come straight
+        off the arena.
+        """
+        if set(columns) != set(schema.names):
+            raise ValueError(
+                f"columns {sorted(columns)} do not match schema "
+                f"{schema.names}")
+        arrays = {
+            name_: np.asarray(columns[name_],
+                              dtype=schema.field(name_).numpy_dtype)
+            for name_ in schema.names
+        }
+        lengths = {len(col) for col in arrays.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
+        rows = lengths.pop() if lengths else 0
+        arena = Arena.build(schema, arrays)
         table = cls(schema, name=name)
-        for start in range(0, max(big.num_rows, 1), chunk_rows):
-            piece = big.slice(start, start + chunk_rows)
-            if piece.num_rows or big.num_rows == 0:
-                table.append(piece)
+        for start in range(0, max(rows, 1), chunk_rows):
+            stop = min(start + chunk_rows, rows)
+            if stop - start or rows == 0:
+                table._chunks.append(
+                    Chunk._from_arena(schema, arena, start, stop))
+        table._arena = arena
         return table
 
     def append(self, chunk: Chunk) -> None:
@@ -292,6 +468,9 @@ class Table:
             raise ValueError(
                 f"chunk schema {chunk.schema.names} does not match "
                 f"table schema {self.schema.names}")
+        # An appended chunk breaks the single-arena invariant, so
+        # whole-column reads fall back to per-chunk concatenation.
+        self._arena = None
         # Tables are long-lived; a lazy selection view appended here
         # would re-gather on every read, so settle it once.
         self._chunks.append(chunk.materialize())
@@ -310,12 +489,18 @@ class Table:
 
     def column(self, name: str) -> np.ndarray:
         """The full column, concatenated across chunks."""
+        if self._arena is not None:
+            self.schema.field(name)  # same KeyError as the slow path
+            return self._arena.full_column(name)
         if not self._chunks:
             return np.empty(0, dtype=self.schema.field(name).numpy_dtype)
         return np.concatenate([c.columns[name] for c in self._chunks])
 
     def combined(self) -> Chunk:
         """All rows as a single chunk."""
+        if self._arena is not None and len(self._chunks) > 1:
+            return Chunk._from_arena(self.schema, self._arena, 0,
+                                     self._arena.num_rows)
         if not self._chunks:
             return Chunk.empty(self.schema)
         return Chunk.concat(self._chunks)

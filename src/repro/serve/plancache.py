@@ -23,6 +23,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..engine.codegen import fabric_fingerprint
 from ..engine.logical import PlanNode, Query, Scan
 from ..engine.placement import Placement
 from ..optimizer.optimizer import RankedPlacement
@@ -74,21 +75,6 @@ def schema_fingerprint(catalog, tables: list[str]) -> str:
             digest.update(
                 f"|{f.name}:{f.dtype}:{f.width}".encode())
         digest.update(f"#{stats.rows}:{stats.nbytes}\x1e".encode())
-    return digest.hexdigest()
-
-
-def fabric_fingerprint(fabric) -> str:
-    """Hash of the fabric's spec and site map (the placement context).
-
-    A different fabric generation — other sites, other link speeds —
-    must not reuse placements planned for this one.
-    """
-    digest = hashlib.sha256()
-    spec = fabric.spec
-    for key in sorted(vars(spec)):
-        digest.update(f"{key}={vars(spec)[key]!r};".encode())
-    for site in sorted(fabric.sites):
-        digest.update(f"{site}\x1f".encode())
     return digest.hexdigest()
 
 

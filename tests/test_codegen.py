@@ -1,0 +1,298 @@
+"""Generated kernels: cache keys, disk persistence, and bit-identity.
+
+The contract under test: a generated kernel is indistinguishable from
+the closure pipeline (same chunks, same charges, same ring events),
+the cache key covers everything that could change the generated code
+(pipeline, entry schema, fabric context, fusion flag), and the disk
+cache survives process boundaries while rejecting corrupt or stale
+entries instead of loading them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import DataflowEngine, VolcanoEngine, codegen
+from repro.engine.fusion import FusedOp
+from repro.engine.logical import AggSpec, Query
+from repro.engine.operators import FilterOp, MapOp, ProjectOp
+from repro.hardware import build_fabric, dataflow_spec
+from repro.obs import table_checksum
+from repro.relational import Catalog
+from repro.relational.datagen import make_lineitem, make_orders
+from repro.relational.expressions import Expression, col, lit
+from repro.relational.schema import DataType, Field, Schema
+
+ROWS = 4000
+
+
+@pytest.fixture(autouse=True)
+def _isolated_kernel_cache(tmp_path, monkeypatch):
+    """Each test gets a private disk cache and fresh module state."""
+    monkeypatch.setenv("REPRO_KERNEL_CACHE_DIR", str(tmp_path / "kernels"))
+    monkeypatch.delenv("REPRO_NO_CODEGEN", raising=False)
+    monkeypatch.delenv("REPRO_NO_FUSE", raising=False)
+    codegen.reset()
+    yield
+    codegen.reset()
+
+
+def _schema(extra=()):
+    fields = [Field("a", DataType.INT64), Field("b", DataType.FLOAT64)]
+    fields += list(extra)
+    return Schema(fields)
+
+
+def _pipeline():
+    return [FilterOp(col("a") > lit(5)), ProjectOp(["a"])]
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints: everything that changes the kernel changes the key
+# ---------------------------------------------------------------------------
+
+def test_same_pipeline_same_schema_same_fingerprint():
+    fp1 = codegen.pipeline_fingerprint(_pipeline(), _schema(), "ctx")
+    fp2 = codegen.pipeline_fingerprint(_pipeline(), _schema(), "ctx")
+    assert fp1 == fp2
+
+
+def test_schema_change_changes_fingerprint():
+    base = codegen.pipeline_fingerprint(_pipeline(), _schema(), "ctx")
+    widened = codegen.pipeline_fingerprint(
+        _pipeline(), _schema([Field("c", DataType.STRING, 8)]), "ctx")
+    assert base != widened
+
+
+def test_fabric_context_change_changes_fingerprint():
+    one = codegen.pipeline_fingerprint(_pipeline(), _schema(), "fab-a")
+    two = codegen.pipeline_fingerprint(_pipeline(), _schema(), "fab-b")
+    assert one != two
+
+
+def test_fusion_flag_changes_fingerprint(monkeypatch):
+    enabled = codegen.pipeline_fingerprint(_pipeline(), _schema(), "ctx")
+    monkeypatch.setenv("REPRO_NO_FUSE", "1")
+    disabled = codegen.pipeline_fingerprint(_pipeline(), _schema(), "ctx")
+    assert enabled != disabled
+
+
+def test_predicate_constant_changes_fingerprint():
+    loose = codegen.pipeline_fingerprint(
+        [FilterOp(col("a") > lit(5))], _schema(), "ctx")
+    tight = codegen.pipeline_fingerprint(
+        [FilterOp(col("a") > lit(6))], _schema(), "ctx")
+    assert loose != tight
+
+
+def test_distinct_fabrics_have_distinct_contexts():
+    fabric = build_fabric(dataflow_spec())
+    other = build_fabric(dataflow_spec(network_gbits=400.0))
+    assert codegen.fabric_context(fabric) != codegen.fabric_context(other)
+    # Cached on the object: second call is the same string.
+    assert codegen.fabric_context(fabric) is codegen.fabric_context(fabric)
+
+
+# ---------------------------------------------------------------------------
+# Cache tiers: compile -> memory -> disk, with verification on load
+# ---------------------------------------------------------------------------
+
+def test_compile_then_memory_then_disk_hit():
+    kernel, origin, fp = codegen.get_kernel(_pipeline(), _schema(), "ctx")
+    assert origin == "compiled" and kernel is not None
+    _, origin2, fp2 = codegen.get_kernel(_pipeline(), _schema(), "ctx")
+    assert origin2 == "memory" and fp2 == fp
+    codegen._memory.clear()          # simulate a fresh process
+    _, origin3, fp3 = codegen.get_kernel(_pipeline(), _schema(), "ctx")
+    assert origin3 == "disk" and fp3 == fp
+    stats = codegen.counters()
+    assert stats["compiles"] == 1
+    assert stats["memory_hits"] == 1
+    assert stats["disk_hits"] == 1
+    assert stats["disk_writes"] == 1
+
+
+def test_corrupt_disk_entry_discarded_and_recompiled():
+    _, _, fp = codegen.get_kernel(_pipeline(), _schema(), "ctx")
+    path = codegen.kernel_cache_dir() / f"{fp}.py"
+    path.write_text(path.read_text()[:-40] + "# truncated\n")
+    codegen._memory.clear()
+    _, origin, _ = codegen.get_kernel(_pipeline(), _schema(), "ctx")
+    assert origin == "compiled"
+    assert codegen.counters()["disk_stale"] == 1
+    assert not path.read_text().endswith("# truncated\n")
+
+
+def test_wrong_fingerprint_header_discarded():
+    _, _, fp = codegen.get_kernel(_pipeline(), _schema(), "ctx")
+    path = codegen.kernel_cache_dir() / f"{fp}.py"
+    text = path.read_text()
+    path.write_text(text.replace(fp, "0" * 64))
+    codegen._memory.clear()
+    _, origin, _ = codegen.get_kernel(_pipeline(), _schema(), "ctx")
+    assert origin == "compiled"
+    assert codegen.counters()["disk_stale"] == 1
+
+
+def test_unparseable_disk_body_discarded():
+    _, _, fp = codegen.get_kernel(_pipeline(), _schema(), "ctx")
+    path = codegen.kernel_cache_dir() / f"{fp}.py"
+    bad_body = "def make_kernel(:\n"
+    import hashlib
+    path.write_text("\n".join([
+        f"# repro-kernel v{codegen.CODEGEN_VERSION}",
+        f"# fingerprint: {fp}",
+        f"# source-sha256: "
+        f"{hashlib.sha256(bad_body.encode()).hexdigest()}",
+        bad_body,
+    ]))
+    codegen._memory.clear()
+    _, origin, _ = codegen.get_kernel(_pipeline(), _schema(), "ctx")
+    assert origin == "compiled"
+    assert codegen.counters()["disk_stale"] == 1
+
+
+def test_empty_cache_dir_env_disables_disk():
+    import os
+    os.environ["REPRO_KERNEL_CACHE_DIR"] = ""
+    assert codegen.kernel_cache_dir() is None
+    _, origin, _ = codegen.get_kernel(_pipeline(), _schema(), "ctx")
+    assert origin == "compiled"
+    assert codegen.counters()["disk_writes"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Fallbacks
+# ---------------------------------------------------------------------------
+
+class _Opaque(Expression):
+    """An expression codegen has never heard of."""
+
+    def evaluate(self, chunk):
+        return np.asarray(chunk.columns["a"] > 5)
+
+    def required_columns(self):
+        return {"a"}
+
+    def __repr__(self):
+        return "opaque()"
+
+
+def test_unsupported_expression_falls_back_to_closures():
+    parts = [FilterOp(_Opaque()), ProjectOp(["a"])]
+    kernel, origin, fp = codegen.resolve(parts, _schema(), "ctx")
+    assert kernel is None and origin == "closure" and fp is None
+    assert codegen.counters()["unsupported"] == 1
+    # The fused op still runs correctly on the closure path.
+    from repro.relational.table import Chunk
+    fused = FusedOp(parts, "ctx")
+    chunk = Chunk(_schema(), {
+        "a": np.arange(10, dtype=np.int64),
+        "b": np.zeros(10)})
+    charges = fused.extra_charges(chunk)
+    emits = fused.process(chunk)
+    assert fused.kernel_origin == "closure"
+    assert [len(c) for c in (charges,)] == [1]
+    assert emits[0].chunk.num_rows == 4
+
+
+def test_no_codegen_env_disables(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CODEGEN", "1")
+    kernel, origin, fp = codegen.resolve(_pipeline(), _schema(), "ctx")
+    assert kernel is None and origin == "disabled" and fp is None
+    assert codegen.counters()["disabled"] == 1
+
+
+# ---------------------------------------------------------------------------
+# End-to-end bit-identity and cold/warm equivalence
+# ---------------------------------------------------------------------------
+
+def _catalog():
+    catalog = Catalog()
+    catalog.register("lineitem", make_lineitem(ROWS, orders=ROWS // 4,
+                                               chunk_rows=500))
+    catalog.register("orders", make_orders(ROWS // 4, chunk_rows=500))
+    return catalog
+
+
+def _queries():
+    return {
+        "filter_project": (
+            Query.scan("lineitem")
+            .filter(col("l_quantity") > 40)
+            .project(["l_orderkey", "l_extendedprice"])),
+        "like_map_agg": (
+            Query.scan("lineitem")
+            .filter(col("l_comment").like("%a%"))
+            .with_column("disc", col("l_extendedprice")
+                         * (lit(1.0) - col("l_discount")))
+            .aggregate(["l_returnflag"],
+                       [AggSpec("sum", "disc", "rev"),
+                        AggSpec("count", alias="n")])),
+        "inset_between": (
+            Query.scan("lineitem")
+            .filter(col("l_returnflag").isin(["A", "R"]))
+            .filter(col("l_quantity").between(5, 45))
+            .project(["l_orderkey", "l_quantity"])),
+    }
+
+
+def _run_engine(engine_cls, query):
+    fabric = build_fabric(dataflow_spec())
+    result = engine_cls(fabric, _catalog()).execute(query)
+    return {
+        "checksum": table_checksum(result.table),
+        "sim_time_s": result.elapsed,
+        "movement": result.movement,
+        "ledger": fabric.trace.movement_ledger(),
+        "ring": [event.to_dict() for event in fabric.trace.events],
+    }
+
+
+@pytest.mark.parametrize("engine_cls", [DataflowEngine, VolcanoEngine])
+@pytest.mark.parametrize("name", sorted(_queries()))
+def test_codegen_and_closure_runs_bit_identical(monkeypatch, engine_cls,
+                                                name):
+    query = _queries()[name]
+    generated = _run_engine(engine_cls, query)
+    monkeypatch.setenv("REPRO_NO_CODEGEN", "1")
+    closures = _run_engine(engine_cls, query)
+    assert generated["checksum"] == closures["checksum"]
+    assert generated["sim_time_s"] == closures["sim_time_s"]
+    assert generated["movement"] == closures["movement"]
+    assert generated["ledger"] == closures["ledger"]
+    assert generated["ring"] == closures["ring"]
+
+
+def test_cold_and_warm_cache_runs_bit_identical():
+    query = _queries()["like_map_agg"]
+    cold = _run_engine(DataflowEngine, query)
+    assert codegen.counters()["compiles"] >= 1
+    codegen._memory.clear()          # fresh process, disk cache warm
+    warm = _run_engine(DataflowEngine, query)
+    assert codegen.counters()["disk_hits"] >= 1
+    assert cold == warm
+
+
+def test_counters_surface_in_query_result():
+    fabric = build_fabric(dataflow_spec())
+    result = DataflowEngine(fabric, _catalog()).execute(
+        _queries()["filter_project"])
+    assert result.counters.get("codegen.compiles", 0) >= 1
+    # Counters never leak into the simulated accounting.
+    assert not any(k.startswith("codegen.")
+                   for k in result.movement)
+
+
+def test_resolved_kernels_report_info():
+    fabric = build_fabric(dataflow_spec())
+    engine = DataflowEngine(fabric, _catalog())
+    graph = engine.compile(_queries()["filter_project"])
+    graph.run()
+    infos = [op.kernel_info()
+             for stage in graph.stages.values()
+             for op in stage.ops if isinstance(op, FusedOp)]
+    assert infos, "expected at least one fused segment"
+    for info in infos:
+        assert info["origin"] in ("compiled", "memory", "disk")
+        assert info["fingerprint"]
+        assert "def kernel(chunk, charges):" in info["source"]
