@@ -20,6 +20,7 @@ Three layers on top of the observability substrate:
 
 from .critical_path import (
     Attribution,
+    IntervalIndex,
     attribute,
     attribute_query,
     raw_intervals,
@@ -53,6 +54,7 @@ __all__ = [
     "Attribution",
     "attribute",
     "attribute_query",
+    "IntervalIndex",
     "raw_intervals",
     "BurnRateMonitor",
     "SLOPolicy",

@@ -35,14 +35,17 @@ tests with zero tolerance.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Optional
 
+import numpy as np
+
 from ..sim import EventKind, Trace
 
-__all__ = ["Attribution", "attribute", "attribute_query",
-           "raw_intervals"]
+__all__ = ["Attribution", "IntervalIndex", "attribute",
+           "attribute_query", "raw_intervals"]
 
 
 # Lower number wins when sources overlap.
@@ -166,16 +169,63 @@ def raw_intervals(trace: Trace
     return out
 
 
+class IntervalIndex:
+    """Vectorized clip over one trace's raw interval list.
+
+    Wrap :func:`raw_intervals` output once, then hand the index to
+    :func:`attribute` for each window: the per-window clip becomes a
+    numpy mask over the start/end arrays instead of a Python loop over
+    every interval in the trace.  Comparison and min/max on float64
+    match Python-float semantics exactly, so the clipped set is
+    bit-identical to :func:`_clip` on the same list (open spans are
+    held as ``+inf``, which clips to ``q1`` just as ``None`` does).
+    """
+
+    __slots__ = ("_starts", "_ends", "_meta")
+
+    def __init__(self, intervals):
+        self._meta = [(iv[2], iv[3]) for iv in intervals]
+        self._starts = np.array([iv[0] for iv in intervals],
+                                dtype=np.float64)
+        self._ends = np.array(
+            [math.inf if iv[1] is None else iv[1] for iv in intervals],
+            dtype=np.float64)
+
+    def clip(self, q0: float, q1: float
+             ) -> list[tuple[float, float, str, int]]:
+        starts, ends = self._starts, self._ends
+        hit = np.nonzero((starts < q1) & (ends > q0))[0]
+        if not len(hit):
+            return []
+        lo = np.maximum(starts[hit], q0).tolist()
+        hi = np.minimum(ends[hit], q1).tolist()
+        meta = self._meta
+        out = []
+        for i, j in enumerate(hit.tolist()):
+            start, end = lo[i], hi[i]
+            if end > start:
+                bucket, prio = meta[j]
+                out.append((start, end, bucket, prio))
+        return out
+
+
 def _clip(intervals, q0: float, q1: float
           ) -> list[tuple[float, float, str, int]]:
-    """Clip raw intervals to ``[q0, q1]``, dropping empty results."""
+    """Clip raw intervals to ``[q0, q1]``, dropping empty results.
+
+    Runs once per attributed window over every interval in the trace
+    (the tail-exemplar path attributes dozens of windows), so the
+    comparisons are inlined rather than ``max``/``min`` calls.
+    """
     out: list[tuple[float, float, str, int]] = []
+    append = out.append
     for start, end, bucket, prio in intervals:
-        end = q1 if end is None else end  # still-open span
-        start = max(start, q0)
-        end = min(end, q1)
+        if end is None or end > q1:  # still-open span, or past window
+            end = q1
+        if start < q0:
+            start = q0
         if end > start:
-            out.append((start, end, bucket, prio))
+            append((start, end, bucket, prio))
     return out
 
 
@@ -194,49 +244,61 @@ def attribute(trace: Trace, started_at: float, finished_at: float,
     """
     attribution = Attribution(started_at=started_at,
                               finished_at=finished_at)
-    q0, q1 = Fraction(started_at), Fraction(finished_at)
-    if q1 <= q0:
+    if finished_at <= started_at:
         return attribution
 
     if intervals is None:
         intervals = raw_intervals(trace)
-    intervals = _clip(intervals, started_at, finished_at)
-    bounds = {q0, q1}
-    starts: dict[Fraction, list[tuple[int, str]]] = {}
-    ends: dict[Fraction, list[tuple[int, str]]] = {}
+    if isinstance(intervals, IntervalIndex):
+        intervals = intervals.clip(started_at, finished_at)
+    else:
+        intervals = _clip(intervals, started_at, finished_at)
+    # The sweep runs on raw floats: every float is exactly one
+    # rational, so float comparison, hashing, and sorting agree with
+    # their Fraction counterparts.  Only segment *widths* need exact
+    # arithmetic, and segments tile the window, so per-bucket widths
+    # telescope across each merged same-winner run — two Fraction
+    # conversions per run instead of one per boundary point.
+    bounds = {started_at, finished_at}
+    starts: dict[float, list[tuple[int, str]]] = {}
+    ends: dict[float, list[tuple[int, str]]] = {}
     for start, end, bucket, prio in intervals:
-        fs, fe = Fraction(start), Fraction(end)
-        bounds.add(fs)
-        bounds.add(fe)
-        starts.setdefault(fs, []).append((prio, bucket))
-        ends.setdefault(fe, []).append((prio, bucket))
+        bounds.add(start)
+        bounds.add(end)
+        starts.setdefault(start, []).append((prio, bucket))
+        ends.setdefault(end, []).append((prio, bucket))
 
     points = sorted(bounds)
     active: dict[tuple[int, str], int] = {}
-    buckets: dict[str, Fraction] = {}
-    raw_segments: list[tuple[Fraction, Fraction, str]] = []
-    for left, right in zip(points, points[1:]):
-        for key in ends.get(left, ()):
+    raw_segments: list[tuple[float, float, str]] = []
+    get_starts, get_ends = starts.get, ends.get
+    for index in range(len(points) - 1):
+        left = points[index]
+        for key in get_ends(left, ()):
             count = active.get(key, 0) - 1
             if count > 0:
                 active[key] = count
             else:
                 active.pop(key, None)
-        for key in starts.get(left, ()):
+        for key in get_starts(left, ()):
             active[key] = active.get(key, 0) + 1
         winner = min(active)[1] if active else WAIT_OTHER
-        buckets[winner] = buckets.get(winner, Fraction(0)) + (
-            right - left)
-        if raw_segments and raw_segments[-1][2] == winner \
-                and raw_segments[-1][1] == left:
+        # Adjacent segments always share a boundary, so contiguous
+        # same-winner segments merge into one run.
+        if raw_segments and raw_segments[-1][2] == winner:
             prev = raw_segments[-1]
-            raw_segments[-1] = (prev[0], right, winner)
+            raw_segments[-1] = (prev[0], points[index + 1], winner)
         else:
-            raw_segments.append((left, right, winner))
+            raw_segments.append((left, points[index + 1], winner))
+
+    buckets: dict[str, Fraction] = {}
+    zero = Fraction(0)
+    for lo, hi, winner in raw_segments:
+        buckets[winner] = buckets.get(winner, zero) + (
+            Fraction(hi) - Fraction(lo))
 
     attribution.buckets = buckets
-    attribution.segments = [(float(a), float(b), name)
-                            for a, b, name in raw_segments]
+    attribution.segments = raw_segments
     return attribution
 
 

@@ -63,12 +63,22 @@ from .relational import (
     make_uniform_table,
 )
 
-__all__ = ["SMOKE_SCENARIOS", "run_smoke", "run_serving",
-           "run_experiments", "write_report", "compare_reports",
-           "run_compare", "profile_call", "run_cli", "main"]
+__all__ = ["SMOKE_SCENARIOS", "SCALE_CHUNK", "run_smoke",
+           "run_serving", "run_scale", "run_experiments",
+           "write_report", "compare_reports", "run_compare",
+           "profile_call", "run_cli", "main"]
 
 DEFAULT_ROWS = 6000
 _CHUNK = 1000
+
+SCALE_CHUNK = 16_384
+"""Chunk rows for the scale tier (``repro bench --scale``).
+
+Large chunks keep the simulator's event count (which scales with
+*chunks*, not rows) modest while the relational kernels chew through
+100k–1M rows — the point of the tier is that simulated wall time
+stays flat-ish as data grows, because the hot path is per-chunk.
+"""
 
 DEFAULT_TOLERANCE = 0.01
 """Relative tolerance for time/byte comparisons in ``--compare``.
@@ -79,27 +89,43 @@ checksums and row counts must always match exactly.
 """
 
 
-# Catalogs are memoized per row count: the generators are seeded (the
-# same rows come back bit for bit) and scenarios treat tables as
-# immutable, so rebuilding the catalog per scenario only burned wall
-# time.  Worker processes (--jobs) each fill their own cache.
-_CATALOG_CACHE: dict[int, Catalog] = {}
+# Catalogs are memoized per (row count, chunk size): the generators
+# are seeded (the same rows come back bit for bit) and scenarios
+# treat tables as immutable, so rebuilding the catalog per scenario
+# only burned wall time.  Worker processes (--jobs) each fill their
+# own cache.
+_CATALOG_CACHE: dict[tuple[int, int], Catalog] = {}
 
 
-def _make_catalog(rows: int) -> Catalog:
-    catalog = _CATALOG_CACHE.get(rows)
+def _make_catalog(rows: int, chunk: int = _CHUNK) -> Catalog:
+    catalog = _CATALOG_CACHE.get((rows, chunk))
     if catalog is None:
         catalog = Catalog()
         catalog.register("lineitem", make_lineitem(rows,
                                                    orders=rows // 4,
-                                                   chunk_rows=_CHUNK))
+                                                   chunk_rows=chunk))
         catalog.register("orders", make_orders(rows // 4,
-                                               chunk_rows=_CHUNK))
+                                               chunk_rows=chunk))
         catalog.register("uniform", make_uniform_table(rows, columns=3,
                                                        distinct=50,
-                                                       chunk_rows=_CHUNK))
-        _CATALOG_CACHE[rows] = catalog
+                                                       chunk_rows=chunk))
+        _CATALOG_CACHE[(rows, chunk)] = catalog
     return catalog
+
+
+def _assert_drained(sim, scenario: str) -> None:
+    """Fail loudly if a scenario's simulator did not drain.
+
+    Every bench scenario owns its simulator; after the run completes
+    there must be nothing left in the event queues — a pending event
+    means a process, callback, or credit return leaked past the end
+    of the workload, which the fast flow paths could otherwise hide.
+    """
+    pending = sim.pending_events
+    if pending:
+        raise AssertionError(
+            f"scenario {scenario!r} leaked {pending} pending "
+            "simulator event(s) after completion")
 
 
 def _smoke_queries() -> dict[str, Query]:
@@ -141,11 +167,11 @@ def _engine_summary(result) -> dict:
 
 def _run_query_scenario(name: str, query: Query, rows: int,
                         spec_factory: Callable = dataflow_spec,
-                        placement_factory: Optional[Callable] = None
-                        ) -> dict:
+                        placement_factory: Optional[Callable] = None,
+                        chunk: int = _CHUNK) -> dict:
     """Run one query on both engines over fresh fabrics; compare."""
     started = time.perf_counter()
-    catalog = _make_catalog(rows)
+    catalog = _make_catalog(rows, chunk)
 
     fabric_v = build_fabric(spec_factory())
     res_v = VolcanoEngine(fabric_v, catalog).execute(query)
@@ -155,11 +181,14 @@ def _run_query_scenario(name: str, query: Query, rows: int,
                  if placement_factory else None)
     res_d = DataflowEngine(fabric_d, catalog).execute(
         query, placement=placement)
+    _assert_drained(fabric_v.sim, name)
+    _assert_drained(fabric_d.sim, name)
 
     sum_v, sum_d = res_v.checksum(), res_d.checksum()
     record = {
         "name": name,
         "rows": rows,
+        "chunk_rows": chunk,
         "wall_time_s": time.perf_counter() - started,
         "sim_time_s": res_d.elapsed,
         "checksum": sum_d,
@@ -203,6 +232,8 @@ def _run_conventional_scan(rows: int) -> dict:
     fabric_d = build_fabric(dataflow_spec())
     res_d = DataflowEngine(fabric_d, catalog).execute(
         query, placement=cpu_only(query.plan, fabric_d))
+    _assert_drained(fabric_v.sim, "conventional_scan")
+    _assert_drained(fabric_d.sim, "conventional_scan")
 
     sum_v, sum_d = res_v.checksum(), res_d.checksum()
     record = {
@@ -252,6 +283,7 @@ def _run_scheduler_mix(rows: int) -> dict:
     for i, (name, query) in enumerate(sorted(queries.items())):
         scheduler.submit(name, query, arrival=i * 1e-4)
     records = scheduler.run()
+    _assert_drained(fabric.sim, "scheduler_mix")
 
     checksums, agree = {}, True
     for rec in records:
@@ -259,6 +291,7 @@ def _run_scheduler_mix(rows: int) -> dict:
         oracle_fabric = build_fabric(dataflow_spec())
         oracle = VolcanoEngine(oracle_fabric, catalog).execute(
             queries[rec.name])
+        _assert_drained(oracle_fabric.sim, "scheduler_mix")
         agree = agree and (table_checksum(oracle.table)
                            == checksums[rec.name])
     record = {
@@ -376,6 +409,81 @@ def run_smoke(rows: int = DEFAULT_ROWS,
     records = _map_tasks(_run_smoke_task, tasks, jobs)
     for record in records:
         echo(f"  smoke {record['name']:18} "
+             f"sim {record['sim_time_s']:.6f}s  "
+             f"wall {record['wall_time_s']:.2f}s  "
+             f"checksum {record['checksum'][:12]}")
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Scale tier (the ``scale`` section; ``repro bench --scale``)
+# ---------------------------------------------------------------------------
+
+def _scale_queries() -> dict[str, tuple[Query, int]]:
+    """The scale-tier scenarios: name -> (query, base rows).
+
+    F2/F4/F6-shaped queries (pushdown filter+project, scatter join,
+    full filter+join+aggregate pipeline) at 100k–1M rows with
+    :data:`SCALE_CHUNK`-row chunks.  Each runs through
+    :func:`_run_query_scenario`, so both engines execute it, the
+    checksums must agree, and the simulator must drain.
+    """
+    f2_pushdown = (
+        Query.scan("lineitem")
+        .filter(col("l_quantity") > 45)
+        .project(["l_orderkey", "l_extendedprice"]))
+    f4_join = (
+        Query.scan("lineitem")
+        .filter(col("l_quantity") > 10)
+        .join(Query.scan("orders").filter(col("o_priority") <= 2),
+              "l_orderkey", "o_orderkey")
+        .aggregate(["o_priority"],
+                   [AggSpec("sum", "l_extendedprice", "rev")]))
+    f6_pipeline = (
+        Query.scan("lineitem")
+        .filter(col("l_shipdate").between(8500, 8800))
+        .join(Query.scan("orders").filter(col("o_priority") <= 2),
+              "l_orderkey", "o_orderkey")
+        .aggregate(["o_priority"],
+                   [AggSpec("sum", "l_extendedprice", "rev"),
+                    AggSpec("count", alias="n")]))
+    return {
+        "scale_f2_pushdown_100k": (f2_pushdown, 100_000),
+        "scale_f4_join_300k": (f4_join, 300_000),
+        "scale_f6_pipeline_1m": (f6_pipeline, 1_000_000),
+    }
+
+
+def _run_scale_task(name: str) -> dict:
+    """One scale scenario by name — picklable for --jobs."""
+    query, rows = _scale_queries()[name]
+    return _run_query_scenario(name, query, rows, chunk=SCALE_CHUNK)
+
+
+def run_scale(only: Optional[list[str]] = None,
+              echo: Callable[[str], None] = lambda _line: None,
+              jobs: int = 1) -> list[dict]:
+    """Run the scale tier; one smoke-shaped record per scenario.
+
+    The records carry ``chunk_rows`` so ``--compare`` baselines pin
+    the chunking; wall time per *simulated* second is the headline —
+    the event count grows with chunks, not rows, so the 1M-row run
+    should not cost 167x the 6k-row smoke scenarios.
+    """
+    scenarios = _scale_queries()
+    names = only if only is not None else sorted(scenarios)
+    unknown = [n for n in names if n not in scenarios]
+    if unknown:
+        raise ValueError(f"unknown scale scenarios {unknown} "
+                         f"(have {sorted(scenarios)})")
+    _warm_runtime()
+    if jobs > 1:  # parent-side warm-up; workers inherit via COW fork
+        for name in names:
+            _make_catalog(scenarios[name][1], SCALE_CHUNK)
+    records = _map_tasks(_run_scale_task, list(names), jobs)
+    for record in records:
+        echo(f"  scale {record['name']:24} "
+             f"rows {record['rows']:>9,}  "
              f"sim {record['sim_time_s']:.6f}s  "
              f"wall {record['wall_time_s']:.2f}s  "
              f"checksum {record['checksum'][:12]}")
@@ -567,7 +675,8 @@ def _rel_close(baseline: float, fresh: float,
 
 def compare_reports(baseline: dict, fresh: list[dict],
                     tolerance: float = DEFAULT_TOLERANCE,
-                    fresh_serving: Optional[list[dict]] = None
+                    fresh_serving: Optional[list[dict]] = None,
+                    fresh_scale: Optional[list[dict]] = None
                     ) -> list[str]:
     """Diff fresh smoke records against a baseline report.
 
@@ -579,15 +688,32 @@ def compare_reports(baseline: dict, fresh: list[dict],
     ``fresh_serving`` is diffed too: checksums and the shed /
     SLO-violation / query counts must match exactly (the simulator is
     deterministic), latency percentiles and goodput within
-    ``tolerance``.  Returns human-readable violations (empty = pass).
+    ``tolerance``.  A baseline ``scale`` section gates
+    ``fresh_scale`` with the smoke rules (the records share their
+    shape).  Returns human-readable violations (empty = pass).
     """
     violations: list[str] = []
     violations.extend(_compare_serving(baseline, fresh_serving or [],
                                        tolerance))
+    violations.extend(_compare_query_records(
+        baseline.get("smoke", []), fresh, tolerance, label=""))
+    violations.extend(_compare_query_records(
+        baseline.get("scale", []), fresh_scale or [], tolerance,
+        label="scale"))
+    return violations
+
+
+def _compare_query_records(base_records: list[dict],
+                           fresh: list[dict], tolerance: float,
+                           label: str) -> list[str]:
+    """Smoke-shaped record diff (shared by smoke and scale tiers)."""
+    violations: list[str] = []
     by_name = {rec["name"]: rec for rec in fresh}
-    for base in baseline.get("smoke", []):
+    for base in base_records:
         name = base["name"]
-        rec = by_name.get(name)
+        if label:
+            name = f"{label}[{base['name']}]"
+        rec = by_name.get(base["name"])
         if rec is None:
             violations.append(f"{name}: scenario missing from fresh run")
             continue
@@ -599,6 +725,10 @@ def compare_reports(baseline: dict, fresh: list[dict],
         if base.get("rows") != rec.get("rows"):
             violations.append(f"{name}: rows {base.get('rows')} -> "
                               f"{rec.get('rows')}")
+        if base.get("chunk_rows") not in (None, rec.get("chunk_rows")):
+            violations.append(
+                f"{name}: chunk_rows {base['chunk_rows']} -> "
+                f"{rec.get('chunk_rows')} (must match exactly)")
         if base.get("agree", True) and not rec.get("agree", False):
             violations.append(f"{name}: engines no longer agree")
         if "sim_time_s" in base and not _rel_close(
@@ -724,16 +854,30 @@ def run_compare(baseline_path: str,
                  f"p50 {record['latency']['p50_s']:.6f}s  "
                  f"p99 {record['latency']['p99_s']:.6f}s  "
                  f"checksum {record['checksum'][:12]}")
+    fresh_scale: list[dict] = []
+    scale_base = baseline.get("scale", [])
+    if scale_base:
+        scale_names = [base["name"] for base in scale_base
+                       if base["name"] in _scale_queries()]
+        fresh_scale = _map_tasks(_run_scale_task, scale_names, jobs)
+        for record in fresh_scale:
+            echo(f"  rerun scale {record['name']:24} "
+                 f"sim {record['sim_time_s']:.6f}s  "
+                 f"wall {record['wall_time_s']:.2f}s  "
+                 f"checksum {record['checksum'][:12]}")
     _echo_wall_delta(baseline, fresh, echo)
+    _echo_wall_trend(baseline_path, echo)
     violations = compare_reports(baseline, fresh, tolerance,
-                                 fresh_serving=fresh_serving)
+                                 fresh_serving=fresh_serving,
+                                 fresh_scale=fresh_scale)
     if violations:
         for line in violations:
             print(f"REGRESSION: {line}", file=sys.stderr)
         return 1
     echo(f"baseline comparison passed "
          f"({len(baseline.get('smoke', []))} smoke + "
-         f"{len(serve_base)} serving scenarios)")
+         f"{len(serve_base)} serving + "
+         f"{len(scale_base)} scale scenarios)")
     return 0
 
 
@@ -761,6 +905,47 @@ def _echo_wall_delta(baseline: dict, fresh: list[dict],
         echo("note: baseline predates totals.harness_wall_s "
              "(pre-parallel-harness report); the delta above sums "
              "per-scenario wall times only")
+
+
+def _echo_wall_trend(baseline_path: str,
+                     echo: Callable[[str], None]) -> None:
+    """Wall-clock trajectory across every sibling ``BENCH_*.json``.
+
+    Non-gating: wall clocks differ across machines, so this is a
+    chronology (by each report's ``created`` stamp) of the
+    checked-in baselines next to the one being compared against —
+    enough to eyeball whether the harness has been getting faster or
+    slower across PRs without opening each file.
+    """
+    import glob
+    directory = os.path.dirname(os.path.abspath(baseline_path))
+    entries = []
+    for path in sorted(glob.glob(os.path.join(directory,
+                                              "BENCH_*.json"))):
+        try:
+            with open(path) as handle:
+                report = json.load(handle)
+        except (OSError, ValueError):
+            continue  # unreadable sibling: not this trend's problem
+        totals = report.get("totals", {})
+        entries.append((report.get("created", ""),
+                        report.get("tag", os.path.basename(path)),
+                        totals.get("harness_wall_s"),
+                        totals.get("wall_time_s"),
+                        totals.get("jobs", 1)))
+    if len(entries) < 2:
+        return
+    entries.sort()  # ISO-8601 'created' stamps sort chronologically
+    echo(f"wall trend across {len(entries)} checked-in baselines "
+         "(informational, machines differ):")
+    for created, tag, harness, wall, jobs in entries:
+        harness_s = (f"{harness:8.3f}s" if isinstance(harness,
+                                                      (int, float))
+                     else "       -")
+        wall_s = (f"{wall:8.3f}s" if isinstance(wall, (int, float))
+                  else "       -")
+        echo(f"  {tag:10} {created or '<unstamped>':25} "
+             f"harness {harness_s}  wall {wall_s}  jobs {jobs}")
 
 
 # ---------------------------------------------------------------------------
@@ -839,6 +1024,10 @@ def run_cli(args) -> int:
         print("serving scenarios (--serve):")
         for name in sorted(SERVE_SCENARIOS):
             print(f"  {name}")
+        print("scale scenarios (--scale):")
+        for name, (_query, rows) in sorted(_scale_queries().items()):
+            print(f"  {name}  ({rows:,} rows, "
+                  f"chunk {SCALE_CHUNK:,})")
         print("experiments:")
         for exp_id, path in sorted(experiment_index(args.bench_dir
                                                     ).items()):
@@ -892,14 +1081,30 @@ def run_cli(args) -> int:
         smoke, serving, experiments = run_all()
     harness_wall = time.perf_counter() - harness_started
 
+    # The scale tier runs outside the harness window on purpose:
+    # totals.harness_wall_s is the cross-commit smoke/serve figure,
+    # and folding 1M-row runs into it would break comparability with
+    # every baseline recorded before the tier existed.  It gets its
+    # own totals.scale_wall_s instead.
+    scale: list[dict] = []
+    extra_totals = {"harness_wall_s": harness_wall, "jobs": jobs}
+    if getattr(args, "scale", False):
+        echo(f"running scale scenarios (chunk={SCALE_CHUNK}"
+             + (f", jobs={jobs}" if jobs > 1 else "") + "):")
+        scale_started = time.perf_counter()
+        scale = run_scale(echo=echo, jobs=jobs)
+        extra_totals["scale_wall_s"] = (time.perf_counter()
+                                        - scale_started)
+
     from datetime import datetime, timezone
     report = make_report(
         args.tag, smoke, experiments,
         created=datetime.now(timezone.utc).isoformat(
             timespec="seconds"),
-        extra_totals={"harness_wall_s": harness_wall, "jobs": jobs},
+        extra_totals=extra_totals,
         profile=profile,
-        serving=serving)
+        serving=serving,
+        scale=scale)
     path = write_report(report, args.out)
     echo(f"report: {path}  "
          f"({report['totals']['benchmarks']} benchmarks, "
@@ -922,6 +1127,11 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
                         default=SERVE_BENCH_QUERIES,
                         dest="serve_queries", metavar="N",
                         help="requested queries per serving scenario")
+    parser.add_argument("--scale", action="store_true",
+                        help="also run the 100k-1M row scale tier "
+                             "(f2/f4/f6-shaped queries, large "
+                             "chunks); timed separately as "
+                             "totals.scale_wall_s")
     parser.add_argument("--tag", default="local",
                         help="report tag (file is BENCH_<tag>.json)")
     parser.add_argument("--out", default=".",

@@ -606,15 +606,20 @@ def cmd_serve(args) -> int:
             report, record,
             title=f"Serving dashboard — {record['name']}")
         print(f"  dashboard: {html_path} (+ {json_path})")
-    if args.out:
+    if args.out is not None:
         import os
-        out_dir = os.path.dirname(args.out)
+        # Bare -o defaults under benchmarks/results/ (gitignored),
+        # same routing as --report — records never land in the
+        # repo root by accident.
+        out = args.out or os.path.join(
+            "benchmarks", "results", f"serve_{record['name']}.json")
+        out_dir = os.path.dirname(out)
         if out_dir:
             os.makedirs(out_dir, exist_ok=True)
-        with open(args.out, "w") as handle:
+        with open(out, "w") as handle:
             json.dump(record, handle, indent=2, sort_keys=True)
             handle.write("\n")
-        print(f"  record: {args.out}")
+        print(f"  record: {out}")
     return 0
 
 
@@ -791,9 +796,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-verify", action="store_true",
                        help="skip the standalone-oracle checksum and "
                             "accounting verification")
-    serve.add_argument("-o", "--out", default=None,
+    serve.add_argument("-o", "--out", nargs="?", const="",
+                       default=None, metavar="JSON",
                        help="write the full repro.bench/v3 serving "
-                            "record (incl. per-query records) here")
+                            "record (incl. per-query records); bare "
+                            "-o defaults under benchmarks/results/")
     serve.add_argument("--report", nargs="?", const="", default=None,
                        metavar="HTML",
                        help="write the self-contained serving "

@@ -264,7 +264,8 @@ def install_kernel(device: Device, kernel: Kernel):
     logic banks are reconfigured.
     """
     duration = installation_time(kernel)
-    yield device._units.request()
+    if not device._units.try_acquire():
+        yield device._units.request()
     try:
         yield device.sim.timeout(duration)
     finally:

@@ -27,7 +27,7 @@ from ..hardware.device import Device
 from ..hardware.storage import StorageMedium
 from ..relational.table import Chunk, Table
 from ..sim import Event, EventKind, Simulator, Store, Trace
-from .credits import END, CreditChannel
+from .credits import END, CreditChannel, flow_fast_path
 from .ratelimit import RateLimiter
 
 __all__ = ["Stage", "StageGraph", "FlowResult"]
@@ -69,6 +69,13 @@ class Stage:
         self.chunks_out = 0
         self._rr = itertools.count()
         self._metric = f"stage.{graph.name}.{name}"
+        # Hot-path interning: the per-message series key, the
+        # device-stall counter handle, and the flow fast-path flag
+        # (resolved once, like CreditChannel does).
+        self._inbox_series = f"{self._metric}.inbox"
+        self._stall_device = graph.trace.counter_handle(
+            f"{self._metric}.stall.device_s")
+        self._fast = flow_fast_path()
 
     # -- execution ---------------------------------------------------------
 
@@ -137,11 +144,25 @@ class Stage:
         if remaining == 0:
             raise RuntimeError(
                 f"stage {self.name!r} has no inputs and no source")
+        sim, trace, inbox = self.graph.sim, self.graph.trace, self.inbox
+        fast = self._fast
+        # Prebound series list + inlined tick: one sample per message.
+        # (A consumer always samples at least once — one END per
+        # input — so creating the series entry up front adds no key.)
+        samples = trace.series[self._inbox_series]
         while remaining > 0:
-            channel, payload = yield self.inbox.get()
-            self.graph.trace.sample(
-                f"stage.{self.graph.name}.{self.name}.inbox",
-                self.graph.sim.now, len(self.inbox))
+            if fast and inbox.items and not inbox._putters:
+                # Message already queued: pop it directly and claim
+                # the StoreGet success slot with a bare timeout —
+                # same (time, seq) position, no event dispatch.
+                channel, payload = inbox.items.pop(0)
+                yield sim.timeout(0.0)
+            else:
+                channel, payload = yield inbox.get()
+            now = sim.now
+            if now > trace.clock:
+                trace.clock = now
+            samples.append((now, len(inbox)))
             if payload is END:
                 remaining -= 1
             else:
@@ -174,8 +195,7 @@ class Stage:
         stall = ((self.graph.sim.now - before)
                  - self.device.service_time(kind, nbytes))
         if stall > 1e-12:
-            self.graph.trace.add(f"{self._metric}.stall.device_s",
-                                 stall)
+            self._stall_device.add(stall)
 
     def _apply(self, chunk: Chunk, start: int) -> Generator:
         """Run ``chunk`` through ops[start:]; returns resulting emits."""
@@ -383,14 +403,16 @@ class StageGraph:
         self.trace.add(f"graph.{self.name}.channels",
                        len(self.channels))
         for stage in self.stages.values():
-            run = stage.run()
+            proc = self.sim.process(stage.run(),
+                                    name=f"{self.name}.{stage.name}")
             if self.qid:
                 # Serving context: tag every event this stage's
                 # process (and the device/storage code it drives)
-                # emits with the owning query.  Pure observation —
-                # the wrapper never changes what the kernel sees.
-                run = self.trace.scoped(self.qid, run)
-            self.sim.process(run, name=f"{self.name}.{stage.name}")
+                # emits with the owning query.  The kernel sets/
+                # resets ``current_qid`` around each resume — same
+                # dynamic extent as a :meth:`Trace.scoped` wrapper
+                # without the extra generator frame per step.
+                proc._scope = (self.trace, self.qid)
 
     def _validate(self) -> None:
         for stage in self.stages.values():

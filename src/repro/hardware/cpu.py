@@ -108,7 +108,8 @@ class MemoryController:
         remaining = float(nbytes)
         while remaining > 0:
             chunk = min(self.chunk_bytes, remaining)
-            yield self._port.request()
+            if not self._port.try_acquire():
+                yield self._port.request()
             try:
                 yield self.sim.timeout(
                     self.arbitration_latency + chunk / self.bandwidth)
@@ -334,7 +335,8 @@ class Server:
         while remaining > 0:
             piece = min(chunk_bytes, remaining)
             yield from home.controller_for(stream_id).access(piece)
-            yield self._xsocket.request()
+            if not self._xsocket.try_acquire():
+                yield self._xsocket.request()
             try:
                 yield self.sim.timeout(
                     self.interconnect_latency

@@ -114,6 +114,17 @@ class Device:
     def __post_init__(self):
         self._units = Resource(self.sim, capacity=self.slots,
                                name=f"{self.name}.units")
+        # Interned hot-path trace keys: execute() runs per operator
+        # per chunk, so its counter keys are resolved once here
+        # instead of via f-strings on every call.
+        self._span_name = f"device.{self.name}"
+        self._slot_wait = self.trace.counter_handle(
+            f"device.{self.name}.slot_wait_s")
+        self._busy = self.trace.counter_handle(
+            f"device.{self.name}.busy_s")
+        self._op_count = self.trace.counter_handle(
+            f"device.{self.name}.ops")
+        self._bytes_by_kind: dict[str, object] = {}
 
     # -- capability queries ---------------------------------------------
 
@@ -166,13 +177,15 @@ class Device:
         """
         duration = self.service_time(kind, nbytes)
         requested = self.sim.now
-        yield self._units.request()
-        if self.sim.now > requested:
-            # Cumulative slot-queueing time: the raw material of the
-            # backpressure report's "device-busy" bucket.
-            self.trace.add(f"device.{self.name}.slot_wait_s",
-                           self.sim.now - requested)
-        span = self.trace.open_span(f"device.{self.name}", self.sim.now)
+        # Uncontended admission grants inline (no event, no queue
+        # slot); only a busy device pays the request/grant round-trip.
+        if not self._units.try_acquire():
+            yield self._units.request()
+            if self.sim.now > requested:
+                # Cumulative slot-queueing time: the raw material of
+                # the backpressure report's "device-busy" bucket.
+                self._slot_wait.add(self.sim.now - requested)
+        span = self.trace.open_span(self._span_name, self.sim.now)
         try:
             yield self.sim.timeout(duration)
         finally:
@@ -181,11 +194,15 @@ class Device:
             # Cumulative busy seconds: the serializable counterpart of
             # the span record, from which per-query utilization deltas
             # are computed (see TraceSnapshot.busy_delta).
-            self.trace.add(f"device.{self.name}.busy_s",
-                           now - span.start)
+            self._busy.add(now - span.start)
             self._units.release()
-        self.trace.add(f"device.{self.name}.bytes.{kind}", nbytes)
-        self.trace.add(f"device.{self.name}.ops", 1)
+        by_kind = self._bytes_by_kind.get(kind)
+        if by_kind is None:
+            by_kind = self.trace.counter_handle(
+                f"device.{self.name}.bytes.{kind}")
+            self._bytes_by_kind[kind] = by_kind
+        by_kind.add(nbytes)
+        self._op_count.add(1)
 
     # -- reporting ---------------------------------------------------------
 

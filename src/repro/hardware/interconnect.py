@@ -69,6 +69,14 @@ class Link:
             raise ValueError(f"link {self.name}: bandwidth must be positive")
         self._ports = Resource(self.sim, capacity=self.ports,
                                name=f"{self.name}.ports")
+        # Interned hot-path trace keys (transfer() runs per chunk).
+        self._span_name = f"link.{self.name}"
+        self._byte_count = self.trace.counter_handle(
+            f"link.{self.name}.bytes")
+        self._chunk_count = self.trace.counter_handle(
+            f"link.{self.name}.chunks")
+        self._segment_bytes = self.trace.counter_handle(
+            f"movement.{self.segment}.bytes")
 
     def transfer_time(self, nbytes: float) -> float:
         """Predicted uncontended time for a transfer of ``nbytes``."""
@@ -103,10 +111,11 @@ class Link:
         issued = self.sim.now
         self.trace.emit(issued, EventKind.DMA_ISSUE, self.name,
                         label=flow, nbytes=nbytes)
-        yield self._ports.request()
+        if not self._ports.try_acquire():
+            yield self._ports.request()
         # A busy span per occupancy window: the raw material the
         # critical-path walker attributes link time from.
-        span = self.trace.open_span(f"link.{self.name}", self.sim.now)
+        span = self.trace.open_span(self._span_name, self.sim.now)
         try:
             yield self.sim.timeout(self.transfer_time(nbytes))
         finally:
@@ -116,9 +125,9 @@ class Link:
         self.trace.emit(issued, EventKind.DMA_COMPLETE, self.name,
                         label=flow, nbytes=nbytes,
                         dur=self.sim.now - issued)
-        self.trace.add(f"link.{self.name}.bytes", nbytes)
-        self.trace.add(f"link.{self.name}.chunks", 1)
-        self.trace.add(f"movement.{self.segment}.bytes", nbytes)
+        self._byte_count.add(nbytes)
+        self._chunk_count.add(1)
+        self._segment_bytes.add(nbytes)
         self.trace.record_movement(self.name, flow or "unattributed",
                                    direction, nbytes)
         if flow:

@@ -100,7 +100,8 @@ class NIC:
         issued = self.sim.now
         self.trace.emit(issued, EventKind.DMA_ISSUE,
                         f"nic.{self.name}", label=label, nbytes=nbytes)
-        yield self.dma.request()
+        if not self.dma.try_acquire():
+            yield self.dma.request()
         span = self.trace.open_span(f"nic.{self.name}.dma",
                                     self.sim.now)
         try:

@@ -115,7 +115,8 @@ class StorageMedium:
         self.trace.emit(issued, EventKind.DMA_ISSUE,
                         f"storage.{self.name}", label="read",
                         nbytes=nbytes)
-        yield self._channel.request()
+        if not self._channel.try_acquire():
+            yield self._channel.request()
         span = self.trace.open_span(f"storage.{self.name}",
                                     self.sim.now)
         try:
@@ -137,7 +138,8 @@ class StorageMedium:
         self.trace.emit(issued, EventKind.DMA_ISSUE,
                         f"storage.{self.name}", label="write",
                         nbytes=nbytes)
-        yield self._channel.request()
+        if not self._channel.try_acquire():
+            yield self._channel.request()
         span = self.trace.open_span(f"storage.{self.name}",
                                     self.sim.now)
         try:

@@ -161,7 +161,8 @@ def make_report(tag: str, smoke: list[dict],
                 created: str = "",
                 extra_totals: Optional[dict] = None,
                 profile: Optional[dict] = None,
-                serving: Optional[list[dict]] = None) -> dict:
+                serving: Optional[list[dict]] = None,
+                scale: Optional[list[dict]] = None) -> dict:
     """Assemble the schema-versioned benchmark report.
 
     ``totals.wall_time_s`` is always the *sum* of per-benchmark wall
@@ -170,14 +171,18 @@ def make_report(tag: str, smoke: list[dict],
     ``harness_wall_s`` and ``jobs`` arrive via ``extra_totals``.  An
     optional ``profile`` section (``repro bench --profile``) carries
     the cProfile hot-function table; ``serving`` carries the v3
-    multi-tenant serving records (``repro serve``).
+    multi-tenant serving records (``repro serve``); ``scale``
+    carries the 100k–1M row tier (``repro bench --scale``,
+    smoke-shaped records, validated whenever present).
     """
     experiments = experiments or []
     serving = serving or []
+    scale = scale or []
     wall = sum(r.get("wall_time_s", 0.0)
-               for r in smoke + experiments + serving)
+               for r in smoke + experiments + serving + scale)
     totals = {
-        "benchmarks": len(smoke) + len(experiments) + len(serving),
+        "benchmarks": (len(smoke) + len(experiments) + len(serving)
+                       + len(scale)),
         "wall_time_s": wall,
     }
     totals.update(extra_totals or {})
@@ -189,6 +194,7 @@ def make_report(tag: str, smoke: list[dict],
         "smoke": smoke,
         "experiments": experiments,
         "serving": serving,
+        "scale": scale,
         "totals": totals,
     }
     if profile is not None:
@@ -246,42 +252,18 @@ def report_violations(report: dict) -> list[str]:
     for key in ("tag", "smoke", "experiments", "totals"):
         if key not in report:
             errors.append(f"missing top-level key {key!r}")
+    strict_events = schema in (_SCHEMA_V2, REPORT_SCHEMA)
     for record in report.get("smoke", []):
-        name = record.get("name", "<unnamed>")
-        for key in required:
-            if key not in record:
-                errors.append(f"smoke[{name}]: missing {key!r}")
-        if schema in (_SCHEMA_V2, REPORT_SCHEMA):
-            events = record.get("events", {})
-            for key in _EVENT_STAT_KEYS:
-                if key not in events:
-                    errors.append(
-                        f"smoke[{name}]: events missing {key!r}")
-            if not isinstance(record.get("events_truncated", False),
-                              bool):
-                errors.append(f"smoke[{name}]: events_truncated "
-                              "is not a bool")
-        if "checksum" not in record:
-            errors.append(f"smoke[{name}]: checksum missing")
-        elif not _is_hex_digest(record["checksum"]):
-            errors.append(f"smoke[{name}]: checksum "
-                          f"{record['checksum']!r} is not a "
-                          "sha256 hex digest")
-        if record.get("sim_time_s", 0.0) <= 0.0:
-            errors.append(f"smoke[{name}]: sim_time_s not positive")
-        for dev, value in record.get("utilization", {}).items():
-            if not 0.0 <= value <= 1.0:
-                errors.append(f"smoke[{name}]: utilization[{dev}] "
-                              f"= {value} outside [0, 1]")
-        for seg, nbytes in record.get("movement_bytes", {}).items():
-            if nbytes < 0:
-                errors.append(f"smoke[{name}]: movement_bytes[{seg}] "
-                              "negative")
-        links = record.get("links", {})
-        if links and sum(entry.get("bytes", 0.0)
-                         for entry in links.values()) <= 0.0:
-            errors.append(f"smoke[{name}]: all per-link byte "
-                          "counters are zero")
+        errors.extend(_query_record_violations(record, "smoke",
+                                               required,
+                                               strict_events))
+    # The scale section (``repro bench --scale``) is optional at
+    # every schema version, but whenever present its records must
+    # satisfy the full smoke contract plus the chunk pin.
+    for record in report.get("scale", []):
+        errors.extend(_query_record_violations(
+            record, "scale", _SMOKE_REQUIRED_V2 + ("chunk_rows",),
+            strict_events=True))
     if schema == REPORT_SCHEMA and "serving" not in report:
         errors.append("v3 report missing 'serving' section")
     for record in report.get("serving", []):
@@ -328,6 +310,49 @@ def report_violations(report: dict) -> list[str]:
     for record in report.get("experiments", []):
         if "name" not in record or "wall_time_s" not in record:
             errors.append("experiment record missing name/wall_time_s")
+    return errors
+
+
+def _query_record_violations(record: dict, section: str,
+                             required: tuple, strict_events: bool
+                             ) -> list[str]:
+    """Structural checks for one smoke-shaped scenario record."""
+    errors: list[str] = []
+    name = record.get("name", "<unnamed>")
+    for key in required:
+        if key not in record:
+            errors.append(f"{section}[{name}]: missing {key!r}")
+    if strict_events:
+        events = record.get("events", {})
+        for key in _EVENT_STAT_KEYS:
+            if key not in events:
+                errors.append(
+                    f"{section}[{name}]: events missing {key!r}")
+        if not isinstance(record.get("events_truncated", False),
+                          bool):
+            errors.append(f"{section}[{name}]: events_truncated "
+                          "is not a bool")
+    if "checksum" not in record:
+        errors.append(f"{section}[{name}]: checksum missing")
+    elif not _is_hex_digest(record["checksum"]):
+        errors.append(f"{section}[{name}]: checksum "
+                      f"{record['checksum']!r} is not a "
+                      "sha256 hex digest")
+    if record.get("sim_time_s", 0.0) <= 0.0:
+        errors.append(f"{section}[{name}]: sim_time_s not positive")
+    for dev, value in record.get("utilization", {}).items():
+        if not 0.0 <= value <= 1.0:
+            errors.append(f"{section}[{name}]: utilization[{dev}] "
+                          f"= {value} outside [0, 1]")
+    for seg, nbytes in record.get("movement_bytes", {}).items():
+        if nbytes < 0:
+            errors.append(f"{section}[{name}]: movement_bytes[{seg}] "
+                          "negative")
+    links = record.get("links", {})
+    if links and sum(entry.get("bytes", 0.0)
+                     for entry in links.values()) <= 0.0:
+        errors.append(f"{section}[{name}]: all per-link byte "
+                      "counters are zero")
     return errors
 
 

@@ -136,6 +136,9 @@ class Catalog:
         self._tables: dict[str, Table] = {}
         self._stats: dict[str, TableStats] = {}
         self._zonemaps: dict[str, "ZoneMap"] = {}
+        #: Bumped on every (re-)registration; fingerprint caches key
+        #: on it so a changed table invalidates dependent entries.
+        self.version = 0
 
     def register(self, name: str, table: Table) -> Table:
         """Add (or replace) a table under ``name``; computes stats."""
@@ -143,6 +146,7 @@ class Catalog:
         self._tables[name] = table
         self._stats[name] = compute_stats(table)
         self._zonemaps.pop(name, None)
+        self.version += 1
         return table
 
     def zonemap(self, name: str) -> "ZoneMap":

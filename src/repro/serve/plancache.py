@@ -23,7 +23,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..engine.codegen import fabric_fingerprint
+from ..engine.codegen import fabric_context, fabric_fingerprint
 from ..engine.logical import PlanNode, Query, Scan
 from ..engine.placement import Placement
 from ..optimizer.optimizer import RankedPlacement
@@ -42,14 +42,24 @@ def plan_fingerprint(plan) -> str:
     Two plans built from the same template produce the same
     fingerprint even though their node ids differ; any change to an
     operator, predicate, column list, or tree shape changes it.
+    The digest is cached on the root node: logical trees are
+    immutable once built (the cache already relies on lookup-time
+    and store-time fingerprints agreeing), and serving templates
+    reuse one plan object across every query.
     """
+    root = _plan_of(plan)
+    cached = root.__dict__.get("_fingerprint")
+    if cached is not None:
+        return cached
     digest = hashlib.sha256()
-    for node in _plan_of(plan).walk():
+    for node in root.walk():
         digest.update(type(node).__name__.encode())
         digest.update(b"\x1f")
         digest.update(node.describe().encode())
         digest.update(f"\x1e{len(node.children)}\x1d".encode())
-    return digest.hexdigest()
+    fingerprint = digest.hexdigest()
+    root._fingerprint = fingerprint
+    return fingerprint
 
 
 def referenced_tables(plan) -> list[str]:
@@ -149,10 +159,23 @@ class PlanCache:
     misses: int = 0
     invalidations: int = 0
     _entries: dict[str, _CacheEntry] = field(default_factory=dict)
+    #: Memoized context keys: (catalog id+version, tables, fabric id)
+    #: -> digest.  Serving recomputes the same context per query;
+    #: the catalog version bump keeps invalidation semantics intact.
+    _context_memo: dict = field(default_factory=dict, repr=False)
 
     def context_key(self, catalog, fabric, plan) -> str:
-        return (schema_fingerprint(catalog, referenced_tables(plan))
-                + ":" + fabric_fingerprint(fabric))
+        tables = tuple(referenced_tables(plan))
+        memo_key = (id(catalog), catalog.version, tables, id(fabric))
+        cached = self._context_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        context = (schema_fingerprint(catalog, list(tables))
+                   + ":" + fabric_context(fabric))
+        if len(self._context_memo) >= 64:
+            self._context_memo.clear()
+        self._context_memo[memo_key] = context
+        return context
 
     def lookup(self, plan, catalog, fabric
                ) -> Optional[list[RankedPlacement]]:

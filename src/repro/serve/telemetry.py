@@ -53,7 +53,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..analysis.critical_path import attribute, raw_intervals
+from ..analysis.critical_path import (IntervalIndex, attribute,
+                                      raw_intervals)
 from ..analysis.slo import BurnRateMonitor, SLOPolicy, alert_mismatches
 from ..sim import EventKind, Trace
 
@@ -425,7 +426,7 @@ class ServeTelemetry:
                 oldest_ts = event.ts
             if event.qid in slices:
                 slices[event.qid].append(event)
-        intervals = raw_intervals(self.trace)
+        intervals = IntervalIndex(raw_intervals(self.trace))
         dropped = self.trace.events.dropped
 
         self.exemplars = []

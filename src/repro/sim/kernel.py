@@ -47,6 +47,31 @@ __all__ = [
 ]
 
 
+class _Callback:
+    """A raw scheduled callback: one ``(time, seq)`` slot, no Event.
+
+    The dispatch loop recognizes these by ``callbacks is None`` — a
+    real :class:`Event` always carries a list (possibly empty) until
+    the moment it is dispatched, and every event is scheduled exactly
+    once, so the marker is unambiguous.  ``_Callback`` (and any object
+    following the same protocol: class-level ``callbacks = None`` plus
+    an ``fn`` attribute) therefore occupies exactly the queue slot an
+    Event would, keeping the total ``(time, seq)`` order bit-identical
+    while skipping Event/Process/generator allocation for one-shot
+    work.  Used by the flow-control fast path; see
+    :meth:`Simulator.call_later`.
+    """
+
+    __slots__ = ("fn",)
+
+    callbacks = None    # dispatch marker (never an instance attribute)
+    _ok = True          # cannot fail: there is no waiter to notify
+    _defused = True
+
+    def __init__(self, fn: Callable[[], None]):
+        self.fn = fn
+
+
 class SimulationError(Exception):
     """Raised for misuse of the kernel (e.g. yielding a non-event)."""
 
@@ -148,7 +173,11 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        super().__init__(sim)
+        # Flattened Event.__init__ (no super() call): a Timeout is
+        # allocated per flow hop, so the extra frame is measurable.
+        self.sim = sim
+        self.callbacks = []
+        self._defused = False
         self.delay = delay
         self._ok = True
         self._value = value
@@ -163,7 +192,7 @@ class Process(Event):
     for each other by yielding the :class:`Process` object.
     """
 
-    __slots__ = ("name", "_generator", "_target")
+    __slots__ = ("name", "_generator", "_target", "_scope")
 
     def __init__(self, sim: "Simulator", generator: Generator,
                  name: str = ""):
@@ -174,6 +203,13 @@ class Process(Event):
         self.name = name or getattr(generator, "__name__", "process")
         self._generator = generator
         self._target: Optional[Event] = None
+        # Optional (context_holder, qid) pair: while the generator
+        # runs, ``context_holder.current_qid`` is set to ``qid`` and
+        # reset on suspension — dynamic-extent query attribution
+        # without a delegating wrapper generator per process.  Pure
+        # observation: setting an attribute cannot alter the event
+        # schedule.
+        self._scope: Optional[tuple] = None
         # Kick off at the current time.
         init = Event(sim)
         init._ok = True
@@ -207,6 +243,9 @@ class Process(Event):
             return
         self._target = None
         self.sim._active_process = self
+        scope = self._scope
+        if scope is not None:
+            scope[0].current_qid = scope[1]
         try:
             if event._ok:
                 next_event = self._generator.send(event._value)
@@ -215,22 +254,34 @@ class Process(Event):
                 next_event = self._generator.throw(event._value)
         except StopIteration as stop:
             self.sim._active_process = None
+            if scope is not None:
+                scope[0].current_qid = 0
             self._ok = True
             self._value = stop.value
             self.sim._schedule(0.0, self)
             return
         except BaseException as exc:
             self.sim._active_process = None
+            if scope is not None:
+                scope[0].current_qid = 0
             self._ok = False
             self._value = exc
             self.sim._schedule(0.0, self)
             return
         self.sim._active_process = None
+        if scope is not None:
+            scope[0].current_qid = 0
         if not isinstance(next_event, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded non-event {next_event!r}")
         self._target = next_event
-        next_event.add_callback(self._resume)
+        # Inlined add_callback: the yielded event is almost never
+        # already processed, and this runs once per process resume.
+        callbacks = next_event.callbacks
+        if callbacks is None:
+            next_event.add_callback(self._resume)
+        else:
+            callbacks.append(self._resume)
 
 
 class _Condition(Event):
@@ -312,6 +363,8 @@ class Simulator:
         self._seq = 0
         self._active_process: Optional[Process] = None
         self.fast_path = not os.environ.get("REPRO_SLOW_KERNEL")
+        #: Interrupt flag for :meth:`run_until_wake` (see :meth:`wake`).
+        self.woken = False
 
     # -- scheduling ----------------------------------------------------
 
@@ -324,6 +377,31 @@ class Simulator:
             self._immediate.append((self._seq, event))
         else:
             heapq.heappush(self._queue, (self.now + delay, self._seq, event))
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn()`` to run after ``delay``, as a raw callback.
+
+        The callback occupies the same ``(time, seq)`` slot an
+        :class:`Event` scheduled at this point would, so interleaving
+        with every other pending event is *bit-identical* to the
+        event-based formulation — the invariant the flow-control fast
+        path is built on.  Unlike an event, nothing can wait on the
+        callback, it cannot fail, and it allocates a single two-slot
+        holder instead of an Event (or a Process plus a generator
+        frame for one-shot flows).
+
+        Invariants callers must respect:
+
+        * ``fn`` runs inside the dispatch loop at its due instant;
+          it may schedule further events/callbacks but must not block.
+        * Exceptions propagate out of :meth:`run`/:meth:`step` like a
+          failed, undefused event would.
+        * A callback counts toward :attr:`pending_events` until it
+          runs, exactly like the event it replaces.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        self._schedule(delay, _Callback(fn))
 
     # -- factory helpers -----------------------------------------------
 
@@ -373,6 +451,11 @@ class Simulator:
         """Process the single next event."""
         event = self._pop()
         callbacks = event.callbacks
+        if callbacks is None:
+            # A raw scheduled callback (see call_later): same slot,
+            # no Event machinery.
+            event.fn()
+            return
         event.callbacks = None
         if len(callbacks) == 1:
             callbacks[0](event)
@@ -399,6 +482,11 @@ class Simulator:
                 return
             event = pop()
             callbacks = event.callbacks
+            if callbacks is None:
+                # Raw scheduled callback (call_later): same (time,
+                # seq) slot as an event, none of the machinery.
+                event.fn()
+                continue
             event.callbacks = None
             if len(callbacks) == 1:
                 callbacks[0](event)
@@ -409,6 +497,62 @@ class Simulator:
                 raise event._value
         if until is not None:
             self.now = until
+
+    def wake(self) -> None:
+        """Interrupt a :meth:`run_until_wake` in progress.
+
+        Called from an event callback (e.g. a query-completion hook)
+        while the kernel is dispatching; the current event finishes
+        normally and the interruptible run returns before dispatching
+        the next one.  Setting a flag cannot alter the event schedule,
+        so an interrupted run dispatches the same events in the same
+        order as an uninterrupted one — it merely returns control to
+        the caller between two of them.
+        """
+        self.woken = True
+
+    def run_until_wake(self, until: Optional[float] = None) -> None:
+        """Run until :meth:`wake` fires, ``until`` is reached, or idle.
+
+        The interruptible counterpart of :meth:`run`, for external
+        drivers (the serving front-end) that must regain control the
+        moment a completion callback fires — without paying a Python
+        ``peek``/``step`` round-trip per event.  Dispatch order is
+        bit-identical to :meth:`run`; only where control returns
+        differs:
+
+        * :meth:`wake` called during dispatch → return immediately
+          after the current event, clock untouched;
+        * next event due past ``until`` (or queue drained with
+          ``until`` set) → advance the clock to ``until`` and return,
+          exactly like :meth:`run`;
+        * queue drained with no ``until`` → return.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError(
+                f"until={until!r} is in the past (now={self.now!r})")
+        self.woken = False
+        pop, immediate, queue = self._pop, self._immediate, self._queue
+        while not self.woken:
+            if not immediate:
+                if not queue or (until is not None
+                                 and queue[0][0] > until):
+                    if until is not None:
+                        self.now = until
+                    return
+            event = pop()
+            callbacks = event.callbacks
+            if callbacks is None:
+                event.fn()
+                continue
+            event.callbacks = None
+            if len(callbacks) == 1:
+                callbacks[0](event)
+            else:
+                for callback in callbacks:
+                    callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
 
     def run_process(self, generator: Generator,
                     until: Optional[float] = None) -> Any:

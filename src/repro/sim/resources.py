@@ -77,6 +77,36 @@ class Store:
             return True, item
         return False, None
 
+    def try_put(self, item: Any) -> bool:
+        """Allocation-free put fast path; ``True`` if enqueued.
+
+        Appends ``item`` without creating a ``_StorePut`` event and —
+        deliberately — without serving waiting getters.  A caller on
+        the flow fast path first schedules its own continuation (the
+        slot the put-success event would have occupied), then calls
+        :meth:`wake_getters`, reproducing ``_dispatch``'s
+        put-before-get scheduling order bit for bit.  Fails (returns
+        ``False``) when the store is full or earlier puts are queued,
+        in which case the caller must fall back to :meth:`put` to
+        keep FIFO fairness.
+        """
+        if self._putters or len(self.items) >= self.capacity:
+            return False
+        self.items.append(item)
+        if len(self.items) > self.max_occupancy:
+            self.max_occupancy = len(self.items)
+        return True
+
+    def wake_getters(self) -> None:
+        """Serve waiting getters; the second half of a fast put.
+
+        Identical scheduling order to the get-serving loop of
+        ``_dispatch`` (FIFO, one success event per getter).
+        """
+        getters, items = self._getters, self.items
+        while getters and items:
+            getters.pop(0).succeed(items.pop(0))
+
     def _dispatch(self) -> None:
         progressed = True
         while progressed:
@@ -128,6 +158,24 @@ class Resource:
     @property
     def available(self) -> int:
         return self.capacity - self.in_use
+
+    def try_acquire(self, amount: int = 1) -> bool:
+        """Allocation-free grant fast path; ``True`` if granted now.
+
+        Grants ``amount`` units immediately — without creating a
+        ``_Request`` event or consuming a queue slot — when no earlier
+        request is waiting and capacity is free.  The caller simply
+        continues instead of yielding, so an uncontended acquire costs
+        zero events.  Returns ``False`` under contention (or when the
+        queue is non-empty, preserving FIFO fairness), in which case
+        the caller must fall back to ``yield request()``.
+        """
+        if self._waiting or amount > self.capacity - self.in_use:
+            return False
+        if self.in_use == 0:
+            self._busy_since = self.sim.now
+        self.in_use += amount
+        return True
 
     def request(self, amount: int = 1) -> Event:
         """Event that fires when ``amount`` units have been granted."""

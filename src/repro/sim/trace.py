@@ -48,7 +48,7 @@ from typing import Optional
 
 from .events import EventRing, TraceEvent
 
-__all__ = ["Trace", "Span", "TRACE_SCHEMA"]
+__all__ = ["Trace", "Span", "CounterHandle", "TRACE_SCHEMA"]
 
 TRACE_SCHEMA = "repro.trace/v3"
 """Schema identifier embedded in serialized traces."""
@@ -86,6 +86,31 @@ class Span:
         return 0.0
 
 
+class CounterHandle:
+    """A pre-resolved reference to one counter in a :class:`Trace`.
+
+    Hot paths (per-message flow control, per-op device charges) used
+    to rebuild the counter's key string with an f-string and walk the
+    counter dict on every increment.  A handle is bound once — at
+    channel/link/device construction — and after that each
+    :meth:`add` is a single dict update with an interned key.  Handles
+    write to the same public ``trace.counters`` mapping, so readers,
+    serialization, and merge are unaffected.
+    """
+
+    __slots__ = ("counters", "key")
+
+    def __init__(self, counters: dict, key: str):
+        self.counters = counters
+        self.key = key
+
+    def add(self, amount: float = 1.0) -> None:
+        self.counters[self.key] += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CounterHandle {self.key}>"
+
+
 @dataclass
 class Trace:
     """Accumulates counters, series and spans during a run."""
@@ -109,12 +134,34 @@ class Trace:
     current_qid: int = 0
     _flow_seq: int = field(default=0, repr=False)
     _ctx_seq: int = field(default=0, repr=False)
+    #: Interned handles by counter name (see :meth:`counter_handle`).
+    _handles: dict[str, CounterHandle] = field(
+        default_factory=dict, repr=False)
 
     # -- recording -------------------------------------------------------
 
     def add(self, counter: str, amount: float = 1.0) -> None:
         """Increment a counter."""
         self.counters[counter] += amount
+
+    def counter_handle(self, name: str) -> CounterHandle:
+        """A pre-resolved handle for repeatedly incrementing ``name``.
+
+        Bind once at construction time (channel, link, device); the
+        handle's :meth:`~CounterHandle.add` then skips the per-call
+        key-string construction the hot paths used to pay.  The
+        counter itself is *not* materialized here — a handle that is
+        never incremented leaves no trace, so constructing hardware
+        cannot change what a report contains.  Handles are interned
+        per name: serving runs construct a fresh flow graph per query
+        against one long-lived trace, so re-binding the same edge
+        names must not allocate.
+        """
+        handle = self._handles.get(name)
+        if handle is None:
+            handle = CounterHandle(self.counters, name)
+            self._handles[name] = handle
+        return handle
 
     def emit(self, ts: float, kind: str, actor: str, label: str = "",
              nbytes: float = 0.0, dur: float = 0.0,
@@ -126,12 +173,17 @@ class Trace:
         window so mid-run reports see it.  ``qid`` defaults to the
         ambient :attr:`current_qid`, so emit sites deep in shared
         hardware code need no explicit threading.
+
+        Each event is a fresh record on purpose: consumers (tail
+        exemplars, report slices) retain references into the ring, so
+        recycling a pool of event objects would alias live data.
         """
-        self.tick(ts + dur if dur > 0 else ts)
-        event = TraceEvent(ts=ts, kind=kind, actor=actor, label=label,
-                           nbytes=nbytes, dur=dur, flow_id=flow_id,
-                           qid=self.current_qid if qid is None
-                           else qid)
+        watermark = ts + dur if dur > 0 else ts
+        if watermark > self.clock:      # tick(), inlined: emit is hot
+            self.clock = watermark
+        event = TraceEvent(ts, kind, actor, label, nbytes, dur,
+                           flow_id,
+                           self.current_qid if qid is None else qid)
         self.events.append(event)
         return event
 
@@ -208,18 +260,21 @@ class Trace:
 
     def sample(self, series: str, time: float, value: float) -> None:
         """Append a (time, value) sample to a series."""
-        self.tick(time)
+        if time > self.clock:        # tick(), inlined: hot path
+            self.clock = time
         self.series[series].append((time, value))
 
     def open_span(self, name: str, time: float) -> Span:
         """Open a new span; close it with :meth:`close_span`."""
-        self.tick(time)
+        if time > self.clock:        # tick(), inlined: hot path
+            self.clock = time
         span = Span(name, time, trace=self)
         self.spans[name].append(span)
         return span
 
     def close_span(self, span: Span, time: float) -> None:
-        self.tick(time)
+        if time > self.clock:        # tick(), inlined: hot path
+            self.clock = time
         span.end = time
 
     def close_open_spans(self, time: Optional[float] = None) -> int:
