@@ -13,6 +13,10 @@ Three layers on top of the observability substrate:
   can actually perturb.
 * :mod:`report` — self-contained HTML attribution report plus the
   ``repro.whatif/v1`` JSON artifact for CI.
+* :mod:`observatory` — continuous per-window saturation series,
+  bound-resource classification, and placement-regret scoring over a
+  serving run (the ``repro.observatory/v1`` artifact and ``repro
+  top``).
 * :mod:`slo` — multi-window SLO burn-rate monitoring over the serving
   telemetry's per-tenant windowed series, with a pure replay path so
   CI can assert the live alert stream is reconstructible.
@@ -24,6 +28,13 @@ from .critical_path import (
     attribute,
     attribute_query,
     raw_intervals,
+)
+from .observatory import (
+    OBSERVATORY_SCHEMA,
+    Observatory,
+    bound_class,
+    effective_cost,
+    render_top,
 )
 from .slo import (
     BurnRateMonitor,
@@ -56,6 +67,11 @@ __all__ = [
     "attribute_query",
     "IntervalIndex",
     "raw_intervals",
+    "OBSERVATORY_SCHEMA",
+    "Observatory",
+    "bound_class",
+    "effective_cost",
+    "render_top",
     "BurnRateMonitor",
     "SLOPolicy",
     "alert_mismatches",

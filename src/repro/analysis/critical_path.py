@@ -83,6 +83,12 @@ class Attribution:
     #: Merged timeline of ``(start, end, bucket)`` segments, in order.
     segments: list[tuple[float, float, str]] = field(
         default_factory=list)
+    #: True when the trace's bounded event ring dropped events, so the
+    #: wire/credit interval sources are incomplete for part of the
+    #: window.  The arithmetic still reconciles (``exact`` stays
+    #: true); the *inputs* are what's partial.
+    partial: bool = False
+    partial_reason: str = ""
 
     @property
     def elapsed(self) -> Fraction:
@@ -128,6 +134,8 @@ class Attribution:
             "finished_at": self.finished_at,
             "elapsed_s": float(self.elapsed),
             "exact": self.exact,
+            "partial": self.partial,
+            "partial_reason": self.partial_reason,
             "dominant": self.dominant(),
             "buckets": self.bucket_seconds(),
             "shares": self.shares(),
@@ -244,6 +252,15 @@ def attribute(trace: Trace, started_at: float, finished_at: float,
     """
     attribution = Attribution(started_at=started_at,
                               finished_at=finished_at)
+    dropped = trace.events.dropped
+    if dropped > 0:
+        # A bounded ring that overflowed lost CHUNK_EMIT/RECV and
+        # CREDIT_STALL events: the wire/credit sources are truncated
+        # and the window must not be presented as fully reconciled.
+        attribution.partial = True
+        attribution.partial_reason = (
+            f"event ring dropped {dropped} events; wire/credit "
+            "intervals incomplete")
     if finished_at <= started_at:
         return attribution
 

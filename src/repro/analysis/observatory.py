@@ -1,0 +1,632 @@
+"""The runtime saturation observatory: continuous bound-resource view.
+
+The what-if profiler (PR 5) proves which resource *one* query was
+bound on; the serving telemetry (PR 7) proves *when* a tenant started
+missing its SLO.  This module closes the remaining gap for ROADMAP
+item 5 (feedback-driven re-placement): a runtime-wide, continuously
+windowed view of what the fabric itself was doing while a serving
+workload ran, derived purely from records the run already produces.
+
+Three derived products, all pure observation:
+
+* **Saturation series.**  The run's horizon is tiled into tumbling
+  windows and every window is attributed with the same exact
+  critical-path sweep queries use
+  (:func:`~repro.analysis.critical_path.attribute` over one shared
+  :class:`~repro.analysis.critical_path.IntervalIndex`).  Per window
+  and per device pool that yields busy seconds, the queueing-delay
+  contribution (``wait:other``), the credit-stall share
+  (``wait:credit``) and wire time — and, from the clipped ``link.*``
+  serialization spans times each link's bandwidth, bytes moved per
+  link.  Window sums reconcile with the scalar reference path and
+  telescope to the whole-horizon attribution *exactly* (Fraction
+  arithmetic, tolerance 0, CI-gated).
+* **Bound-resource classifier.**  Every completed query is tagged
+  with the dominant bucket of its ``[arrival, finished]`` attribution
+  (``device`` / ``storage`` / ``nic`` / ``link`` / ``wait:*``),
+  rolled up into per-tenant × per-resource bound-share series.
+* **Placement regret.**  The executed plan variant is re-scored
+  against the cost model's alternatives on the *observed* fabric
+  state: each variant's per-resource demand is inflated by the
+  saturation actually measured over the query's execution window
+  (``eff = max_r T_r / (1 - min(rho_r, RHO_CAP)) + latency``), and
+  the regret is the gap between the chosen variant's effective cost
+  and the observed-best one — exactly the ranking signal a
+  feedback-driven optimizer consumes.
+
+Observer effect: the observatory never touches the simulator, never
+yields, and — unlike the telemetry's burn-rate alerts — never emits
+into the event ring, so a run with it disabled is bit-identical in
+checksums, completion order, *and* ring contents (CI-gated).
+
+When the bounded event ring has dropped events the wire/credit
+interval sources are incomplete; every attribution is then marked
+``partial`` (with a reason string) and the payload carries the same
+flag, so nothing silently reconciles over a truncated window.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from fractions import Fraction
+from typing import Optional
+
+from ..sim import Trace
+from .critical_path import (Attribution, IntervalIndex, attribute,
+                            raw_intervals)
+
+__all__ = ["Observatory", "OBSERVATORY_SCHEMA", "bound_class",
+           "effective_cost", "render_top"]
+
+OBSERVATORY_SCHEMA = "repro.observatory/v1"
+
+RHO_CAP = 0.95
+"""Saturation is capped here before inflating a variant's cost, so a
+fully-saturated pool inflates by at most ``1 / (1 - RHO_CAP)`` = 20x
+instead of dividing by zero."""
+
+REGRET_LEADERS = 10
+"""How many worst-regret queries the payload keeps ranked."""
+
+
+def bound_class(bucket: str) -> str:
+    """Collapse a dominant bucket to its resource class.
+
+    ``device:compute0.cpu`` -> ``device``; wait buckets keep their
+    reason (``wait:other`` stays ``wait:other``) since *which* wait
+    dominated is the interesting part.
+    """
+    if bucket.startswith("wait:"):
+        return bucket
+    return bucket.split(":", 1)[0]
+
+
+def _pool_rho(shares: dict[str, float], kind: str, key: str) -> float:
+    """The observed saturation of the pool(s) a cost-model key maps to.
+
+    ``device_time`` keys are *site* names; the observed pools carry
+    span-derived names (``device:compute0.nic.proc``,
+    ``nic:compute0.nic.dma``, ``storage:storage.media``), so a site
+    matches any pool it prefixes.  ``link_time`` keys are link names
+    and match exactly.  Several matching pools take the max — the
+    variant queues behind the most saturated one.
+    """
+    if kind == "link":
+        return shares.get(f"link:{key}", 0.0)
+    rho = 0.0
+    exact = (f"device:{key}", f"storage:{key}")
+    prefixes = (f"device:{key}.", f"nic:{key}", f"storage:{key}.")
+    for pool, value in shares.items():
+        if pool in exact or pool.startswith(prefixes):
+            rho = max(rho, value)
+    return rho
+
+
+def effective_cost(cost, shares: dict[str, float],
+                   rho_cap: float = RHO_CAP) -> float:
+    """A plan variant's bottleneck time on the *observed* fabric.
+
+    The cost model's per-resource busy seconds, each inflated by the
+    measured saturation of the pool it lands on::
+
+        eff = max_r  T_r / (1 - min(rho_r, rho_cap))  +  latency
+
+    With every ``rho`` at 0 this reduces exactly to
+    :attr:`~repro.optimizer.cost.PlanCost.bottleneck_time`.
+    """
+    floor = 1.0 - rho_cap
+    worst = 0.0
+    for site, seconds in cost.device_time.items():
+        rho = min(_pool_rho(shares, "device", site), rho_cap)
+        worst = max(worst, seconds / max(1.0 - rho, floor))
+    for link, seconds in cost.link_time.items():
+        rho = min(_pool_rho(shares, "link", link), rho_cap)
+        worst = max(worst, seconds / max(1.0 - rho, floor))
+    return worst + cost.latency
+
+
+class Observatory:
+    """Continuous saturation/bound/regret view over one serving run.
+
+    The :class:`~repro.serve.server.QueryServer` hands every completed
+    query (record, planned variants, the executor's variant decision)
+    to :meth:`on_complete`; :meth:`finalize` derives every series in
+    one pass over the shared trace.  :meth:`payload` /
+    :meth:`digest` produce the ``repro.observatory/v1`` artifact and
+    :meth:`observatory_violations` recomputes everything through the
+    scalar reference path at tolerance 0.
+    """
+
+    def __init__(self, tenants, trace: Trace,
+                 window_s: float = 0.005,
+                 link_bandwidth: Optional[dict[str, float]] = None,
+                 rho_cap: float = RHO_CAP,
+                 regret_leaders: int = REGRET_LEADERS):
+        if window_s <= 0:
+            raise ValueError("observatory window must be positive")
+        self.trace = trace
+        self.window_s = window_s
+        self.link_bandwidth = dict(link_bandwidth or {})
+        self.rho_cap = rho_cap
+        self.regret_leaders = regret_leaders
+        self.tenant_names = sorted(tenants)
+        #: (record, variants, decision) per completed query, in
+        #: completion order.
+        self._completed: list[tuple] = []
+        self._finalized = False
+        self._edges: list[float] = []
+        #: Exact per-window bucket charges (Fraction seconds).
+        self._window_buckets: list[dict[str, Fraction]] = []
+        self._link_bytes: list[dict[str, float]] = []
+        self._bound: list[dict] = []
+        self._regret: list[dict] = []
+        self._horizon = 0.0
+        self._raw: list = []
+        self._index: Optional[IntervalIndex] = None
+
+    # -- lifecycle hook (called by QueryServer at completion) --------------
+
+    def on_complete(self, record, variants=None, decision=None) -> None:
+        """Remember one completed query; all derivation is deferred."""
+        self._completed.append((record, variants or [], decision))
+
+    # -- derivation --------------------------------------------------------
+
+    def _window_of(self, ts: float) -> int:
+        """The window index containing ``ts`` (clamped to the run)."""
+        if not self._edges:
+            return 0
+        return min(int(ts / self.window_s), len(self._edges) - 2)
+
+    def finalize(self, now: float) -> None:
+        """Derive every series from the trace; idempotent per run."""
+        if self._finalized:
+            return
+        self._horizon = max(now, self.trace.clock)
+        self._raw = raw_intervals(self.trace)
+        self._index = IntervalIndex(self._raw)
+        self._edges = self._tile(self._horizon)
+        for i in range(len(self._edges) - 1):
+            att = attribute(self.trace, self._edges[i],
+                            self._edges[i + 1], intervals=self._index)
+            self._window_buckets.append(att.buckets)
+        self._link_bytes = self._fold_link_bytes()
+        self._classify()
+        self._score_regret()
+        self._finalized = True
+
+    def _tile(self, horizon: float) -> list[float]:
+        """Window edges tiling ``[0, horizon]`` exactly."""
+        if horizon <= 0:
+            return []
+        edges = [0.0]
+        i = 1
+        while i * self.window_s < horizon:
+            edges.append(i * self.window_s)
+            i += 1
+        edges.append(horizon)
+        return edges
+
+    def _fold_link_bytes(self) -> list[dict[str, float]]:
+        """Per-window bytes per link from clipped serialization spans.
+
+        Every ``link.*`` span is one chunk's serialization window
+        (width = nbytes / bandwidth), so clipped width × bandwidth is
+        exactly the bytes that crossed the link inside the window —
+        a chunk straddling an edge splits its bytes proportionally.
+        """
+        out: list[dict[str, float]] = [
+            {} for _ in range(len(self._edges) - 1)]
+        links = [(start, end, bucket[len("link:"):])
+                 for start, end, bucket, _prio in self._raw
+                 if bucket.startswith("link:") and end is not None]
+        for start, end, link in links:
+            bandwidth = self.link_bandwidth.get(link)
+            if bandwidth is None:
+                continue
+            first = self._window_of(start)
+            for i in range(first, len(out)):
+                w0, w1 = self._edges[i], self._edges[i + 1]
+                if w0 >= end:
+                    break
+                overlap = min(end, w1) - max(start, w0)
+                if overlap > 0:
+                    cell = out[i]
+                    cell[link] = cell.get(link, 0.0) \
+                        + overlap * bandwidth
+        return out
+
+    def _query_attribution(self, record, started: float,
+                           finished: float) -> Attribution:
+        return attribute(self.trace, started, finished,
+                         intervals=self._index)
+
+    def _classify(self) -> None:
+        """Tag every completed query with its dominant bound bucket."""
+        for record, _variants, _decision in self._completed:
+            att = self._query_attribution(record, record.arrival,
+                                          record.finished)
+            dominant = att.dominant()
+            shares = att.shares()
+            self._bound.append({
+                "name": record.name,
+                "tenant": record.tenant,
+                "window": self._window_of(record.finished),
+                "bucket": dominant,
+                "class": bound_class(dominant),
+                "share": shares.get(dominant, 0.0),
+            })
+
+    def _regret_entry(self, record, variants, decision
+                      ) -> Optional[dict]:
+        """Score one executed query against its plan alternatives."""
+        if not variants:
+            return None
+        att = self._query_attribution(record, record.started,
+                                      record.finished)
+        shares = att.shares()
+        chosen_name = (decision.chosen if decision is not None
+                       else record.variant_name)
+        effs = [(effective_cost(v.cost, shares, self.rho_cap),
+                 v.placement.name) for v in variants]
+        chosen_eff = next((eff for eff, name in effs
+                           if name == chosen_name), effs[0][0])
+        best_eff, best_name = min(effs)
+        regret = chosen_eff - best_eff
+        return {
+            "name": record.name,
+            "tenant": record.tenant,
+            "window": self._window_of(record.finished),
+            "chosen": chosen_name,
+            "best": best_name,
+            "chosen_eff_s": chosen_eff,
+            "best_eff_s": best_eff,
+            "regret_s": regret,
+            "regret_ratio": regret / best_eff if best_eff > 0 else 0.0,
+        }
+
+    def _score_regret(self) -> None:
+        for record, variants, decision in self._completed:
+            entry = self._regret_entry(record, variants, decision)
+            if entry is not None:
+                self._regret.append(entry)
+
+    # -- artifacts ---------------------------------------------------------
+
+    @property
+    def windows(self) -> int:
+        return max(len(self._edges) - 1, 0)
+
+    def _series(self) -> list[dict]:
+        out = []
+        for i, buckets in enumerate(self._window_buckets):
+            w0, w1 = self._edges[i], self._edges[i + 1]
+            width = Fraction(w1) - Fraction(w0)
+            pools = {name: float(value) for name, value in
+                     sorted(buckets.items())}
+            saturation = {name: float(value / width) for name, value
+                          in sorted(buckets.items())} if width > 0 \
+                else {}
+            out.append({
+                "window": i,
+                "start": w0,
+                "end": w1,
+                "pools": pools,
+                "saturation": saturation,
+                "link_bytes": dict(sorted(
+                    self._link_bytes[i].items())),
+            })
+        return out
+
+    def _bound_rollup(self) -> dict:
+        by_tenant: dict[str, dict[str, int]] = {
+            t: {} for t in self.tenant_names}
+        series: list[dict] = [
+            {"window": i, "tenants": {}} for i in range(self.windows)]
+        for entry in self._bound:
+            tenant, cls = entry["tenant"], entry["class"]
+            cell = by_tenant.setdefault(tenant, {})
+            cell[cls] = cell.get(cls, 0) + 1
+            windowed = series[entry["window"]]["tenants"]
+            wcell = windowed.setdefault(tenant, {})
+            wcell[cls] = wcell.get(cls, 0) + 1
+        return {
+            "queries": list(self._bound),
+            "by_tenant": {t: dict(sorted(c.items()))
+                          for t, c in sorted(by_tenant.items())},
+            "series": series,
+        }
+
+    def _regret_rollup(self) -> dict:
+        by_tenant: dict[str, dict] = {}
+        for entry in self._regret:
+            cell = by_tenant.setdefault(entry["tenant"], {
+                "queries": 0, "switch_opportunities": 0,
+                "total_regret_s": 0.0, "max_regret_s": 0.0})
+            cell["queries"] += 1
+            if entry["best"] != entry["chosen"]:
+                cell["switch_opportunities"] += 1
+            cell["total_regret_s"] += entry["regret_s"]
+            cell["max_regret_s"] = max(cell["max_regret_s"],
+                                       entry["regret_s"])
+        leaders = sorted(self._regret,
+                         key=lambda e: (-e["regret_s"], e["name"]))
+        return {
+            "rho_cap": self.rho_cap,
+            "queries": list(self._regret),
+            "by_tenant": dict(sorted(by_tenant.items())),
+            "leaders": leaders[:self.regret_leaders],
+        }
+
+    def payload(self) -> dict:
+        """The canonical ``repro.observatory/v1`` document."""
+        if not self._finalized:
+            raise RuntimeError("finalize() the observatory first")
+        dropped = self.trace.events.dropped
+        totals: dict[str, Fraction] = {}
+        for buckets in self._window_buckets:
+            for name, value in buckets.items():
+                totals[name] = totals.get(name, Fraction(0)) + value
+        return {
+            "schema": OBSERVATORY_SCHEMA,
+            "window_s": self.window_s,
+            "windows": self.windows,
+            "horizon_s": self._horizon,
+            "events_dropped": dropped,
+            "partial": dropped > 0,
+            "partial_reason": (
+                f"event ring dropped {dropped} events; wire/credit "
+                "intervals incomplete" if dropped > 0 else ""),
+            "pools": sorted(totals),
+            "totals": {name: float(value)
+                       for name, value in sorted(totals.items())},
+            "series": self._series(),
+            "bound": self._bound_rollup(),
+            "regret": self._regret_rollup(),
+        }
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON payload (bit-reproducible)."""
+        canon = json.dumps(self.payload(), sort_keys=True,
+                           separators=(",", ":"))
+        return hashlib.sha256(canon.encode()).hexdigest()
+
+    # -- self-validation ---------------------------------------------------
+
+    def observatory_violations(self, records,
+                               query_sample: int = 25) -> list[str]:
+        """Every observatory invariant, recomputed from scratch.
+
+        [] = exact.  All at tolerance 0 (Fraction arithmetic):
+
+        * every window's vectorized attribution equals the scalar
+          reference path (:func:`~repro.analysis.critical_path._clip`)
+          and tiles its window exactly;
+        * window sums telescope to the whole-horizon attribution;
+        * the first ``query_sample`` completed queries' own
+          ``attribute()`` buckets equal their window-clipped sums;
+        * every bound tag and regret entry is reproduced by an
+          independent recomputation;
+        * the ``partial`` flag agrees with the ring's drop counter.
+        """
+        if not self._finalized:
+            return ["observatory never finalized"]
+        errors: list[str] = []
+        totals: dict[str, Fraction] = {}
+        for i, buckets in enumerate(self._window_buckets):
+            w0, w1 = self._edges[i], self._edges[i + 1]
+            reference = attribute(self.trace, w0, w1,
+                                  intervals=list(self._raw))
+            if reference.buckets != buckets:
+                errors.append(
+                    f"window {i}: vectorized buckets diverge from "
+                    "the scalar reference path")
+            width = Fraction(w1) - Fraction(w0)
+            if sum(buckets.values(), Fraction(0)) != width:
+                errors.append(f"window {i}: buckets do not tile the "
+                              "window exactly")
+            for name, value in buckets.items():
+                totals[name] = totals.get(name, Fraction(0)) + value
+        if self._edges:
+            whole = attribute(self.trace, self._edges[0],
+                              self._edges[-1],
+                              intervals=list(self._raw))
+            if whole.buckets != totals:
+                errors.append("window sums do not telescope to the "
+                              "whole-horizon attribution")
+        errors.extend(self._query_reconciliation(query_sample))
+        errors.extend(self._classifier_violations(records))
+        errors.extend(self._regret_violations())
+        dropped = self.trace.events.dropped
+        if (dropped > 0) != (self.payload()["partial"]):
+            errors.append("partial flag disagrees with the ring's "
+                          "drop counter")
+        return errors
+
+    def _query_reconciliation(self, sample: int) -> list[str]:
+        """Per-query attribute() == its window-clipped sums, exactly."""
+        errors: list[str] = []
+        for record, _v, _d in self._completed[:sample]:
+            whole = attribute(self.trace, record.arrival,
+                              record.finished, intervals=self._index)
+            pieces: dict[str, Fraction] = {}
+            lo = self._window_of(record.arrival)
+            hi = self._window_of(record.finished)
+            for i in range(lo, hi + 1):
+                q0 = max(record.arrival, self._edges[i])
+                q1 = min(record.finished, self._edges[i + 1])
+                if q1 <= q0:
+                    continue
+                part = attribute(self.trace, q0, q1,
+                                 intervals=self._index)
+                for name, value in part.buckets.items():
+                    pieces[name] = pieces.get(name, Fraction(0)) \
+                        + value
+            if pieces != whole.buckets:
+                errors.append(
+                    f"{record.name}: per-query attribution does not "
+                    "equal its window-clipped sums")
+        return errors
+
+    def _classifier_violations(self, records) -> list[str]:
+        errors: list[str] = []
+        completed = [r for r in records if r.completed]
+        if len(self._bound) != len(completed):
+            errors.append(
+                f"bound classifier tagged {len(self._bound)} queries "
+                f"but {len(completed)} completed")
+        tagged = sum(count
+                     for cell in self._bound_rollup()[
+                         "by_tenant"].values()
+                     for count in cell.values())
+        if tagged != len(self._bound):
+            errors.append("per-tenant bound counts do not sum to the "
+                          "tagged query count")
+        for entry in self._bound:
+            record = next((r for r, _v, _d in self._completed
+                           if r.name == entry["name"]), None)
+            if record is None:
+                errors.append(f"bound entry {entry['name']} has no "
+                              "completion record")
+                continue
+            att = self._query_attribution(record, record.arrival,
+                                          record.finished)
+            if att.dominant() != entry["bucket"]:
+                errors.append(
+                    f"{entry['name']}: recorded bound bucket "
+                    f"{entry['bucket']} != recomputed "
+                    f"{att.dominant()}")
+        return errors
+
+    def _regret_violations(self) -> list[str]:
+        errors: list[str] = []
+        by_name = {entry["name"]: entry for entry in self._regret}
+        for record, variants, decision in self._completed:
+            fresh = self._regret_entry(record, variants, decision)
+            entry = by_name.get(record.name)
+            if fresh is None:
+                if entry is not None:
+                    errors.append(f"{record.name}: regret entry for "
+                                  "a query with no variants")
+                continue
+            if entry != fresh:
+                errors.append(f"{record.name}: regret entry is not "
+                              "reproduced by recomputation")
+                continue
+            if entry["regret_s"] < 0:
+                errors.append(f"{record.name}: negative regret")
+        return errors
+
+
+# ---------------------------------------------------------------------------
+# repro top — text rendering (from the payload alone)
+# ---------------------------------------------------------------------------
+
+def _fmt_bytes(value: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:,.0f} {unit}" if unit == "B" \
+                else f"{value:,.1f} {unit}"
+        value /= 1024
+    return f"{value:,.1f} GiB"
+
+
+def render_top(payload: dict, name: str = "",
+               follow: bool = False, max_pools: int = 12) -> str:
+    """Render one ``repro.observatory/v1`` payload as a text snapshot.
+
+    Needs nothing but the payload (zero external fetches): the pool
+    saturation table, the hottest tenants by bound class, and the
+    regret leaderboard.  With ``follow``, a per-window playback of
+    the snapshot precedes the summary.
+    """
+    lines: list[str] = []
+    title = f"observatory — {name}" if name else "observatory"
+    lines.append(f"{title}   {payload.get('schema', '')}")
+    status = ("PARTIAL: " + payload.get("partial_reason", "")
+              if payload.get("partial") else "ring complete")
+    lines.append(
+        f"horizon {payload.get('horizon_s', 0.0):.6f}s · "
+        f"{payload.get('windows', 0)} windows × "
+        f"{payload.get('window_s', 0.0) * 1e3:g} ms · {status}")
+    series = payload.get("series", [])
+    horizon = payload.get("horizon_s", 0.0) or 1.0
+    totals = payload.get("totals", {})
+
+    if follow and series:
+        lines.append("")
+        lines.append(f"{'win':>4} {'start (s)':>10} {'hottest pool':32}"
+                     f" {'sat':>6} {'queue':>6} {'bytes moved':>14}")
+        for entry in series:
+            saturation = entry.get("saturation", {})
+            busy = [(share, pool) for pool, share
+                    in saturation.items()
+                    if not pool.startswith("wait:")]
+            top_share, top_pool = max(busy, default=(0.0, "-"))
+            queue = saturation.get("wait:other", 0.0)
+            moved = sum(entry.get("link_bytes", {}).values())
+            lines.append(
+                f"{entry['window']:>4} {entry['start']:>10.6f} "
+                f"{top_pool:32} {top_share:>6.1%} {queue:>6.1%} "
+                f"{_fmt_bytes(moved):>14}")
+
+    lines.append("")
+    lines.append(f"{'pool':34} {'busy (s)':>12} {'share':>7} "
+                 f"{'peak win':>9} {'peak sat':>9}")
+    ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+    for pool, seconds in ranked[:max_pools]:
+        peak_win, peak_sat = 0, 0.0
+        for entry in series:
+            sat = entry.get("saturation", {}).get(pool, 0.0)
+            if sat > peak_sat:
+                peak_win, peak_sat = entry["window"], sat
+        lines.append(f"{pool:34} {seconds:>12.6f} "
+                     f"{seconds / horizon:>7.1%} {peak_win:>9} "
+                     f"{peak_sat:>9.1%}")
+
+    bound = payload.get("bound", {})
+    by_tenant = bound.get("by_tenant", {})
+    if by_tenant:
+        classes = sorted({cls for cell in by_tenant.values()
+                          for cls in cell})
+        lines.append("")
+        lines.append("bound queries by tenant (dominant resource "
+                     "class):")
+        header = f"{'tenant':12}" + "".join(f"{c:>14}"
+                                            for c in classes)
+        lines.append(header + f"{'total':>8}")
+        hottest = sorted(by_tenant.items(),
+                         key=lambda kv: (-sum(kv[1].values()), kv[0]))
+        for tenant, cell in hottest:
+            row = f"{tenant:12}" + "".join(
+                f"{cell.get(c, 0):>14}" for c in classes)
+            lines.append(row + f"{sum(cell.values()):>8}")
+
+    regret = payload.get("regret", {})
+    leaders = regret.get("leaders", [])
+    lines.append("")
+    lines.append("placement-regret leaders (effective cost on the "
+                 "observed fabric):")
+    if not leaders:
+        lines.append("  none — no completed query had plan "
+                     "alternatives to regret")
+    else:
+        lines.append(f"  {'query':30} {'tenant':10} {'chosen':10} "
+                     f"{'best':10} {'regret (s)':>12} {'ratio':>7}")
+        for entry in leaders:
+            lines.append(
+                f"  {entry['name']:30} {entry['tenant']:10} "
+                f"{entry['chosen']:10} {entry['best']:10} "
+                f"{entry['regret_s']:>12.9f} "
+                f"{entry['regret_ratio']:>7.1%}")
+        by_tenant_regret = regret.get("by_tenant", {})
+        switches = sum(c.get("switch_opportunities", 0)
+                       for c in by_tenant_regret.values())
+        total = sum(c.get("total_regret_s", 0.0)
+                    for c in by_tenant_regret.values())
+        lines.append(
+            f"  total regret {total:.9f}s over "
+            f"{len(regret.get('queries', []))} scored queries "
+            f"({switches} switch opportunities)")
+    return "\n".join(lines)

@@ -521,6 +521,10 @@ def _run_serve_task(task: tuple[str, Optional[int], Optional[int]]
         record["telemetry_windows"] = telemetry["windows"]
         record["telemetry_alerts"] = len(telemetry["alerts"])
         record["telemetry_exemplars"] = len(telemetry["exemplars"])
+    observatory = record.pop("observatory", None)
+    if observatory is not None:
+        record["observatory_windows"] = observatory["windows"]
+        record["observatory_partial"] = observatory["partial"]
     return record
 
 
@@ -754,13 +758,16 @@ def _compare_query_records(base_records: list[dict],
     return violations
 
 
-# telemetry_digest is the strongest of these: a byte-identical
-# telemetry payload (windows, sketches, alerts, exemplars) for the
-# same seed, regardless of --jobs or host.
+# telemetry_digest / observatory_digest are the strongest of these:
+# byte-identical derived payloads (windows, sketches, alerts,
+# exemplars; saturation series, bound tags, regret scores) for the
+# same seed, regardless of --jobs or host.  Keys absent from an older
+# baseline are skipped, so adding one here stays backward-compatible.
 _SERVE_EXACT_KEYS = ("queries", "completed", "shed",
                      "slo_violations", "telemetry_digest",
                      "telemetry_windows", "telemetry_alerts",
-                     "telemetry_exemplars")
+                     "telemetry_exemplars", "observatory_digest",
+                     "observatory_windows", "observatory_partial")
 
 _SERVE_TOLERANCE_KEYS = ("p50_s", "p99_s", "p999_s")
 

@@ -47,14 +47,25 @@ Commands
     cache) on one warm fabric; print latency percentiles, goodput,
     shed and SLO-violation counts; optionally write the full
     ``repro.bench/v3`` serving record (with per-query records).
+``top``
+    The saturation observatory's live view: serve a scenario (or load
+    a recorded ``repro.observatory/v1`` JSON with ``--from``) and
+    render per-pool saturation, the hottest tenants by bound resource
+    class, and the placement-regret leaderboard — ``--follow`` adds
+    the per-window playback.
 ``loadgen``
     Materialize the deterministic open-tenant arrival schedule of a
     serving scenario as JSON (time, tenant, template per arrival).
+
+Report-producing commands route their outputs under
+``benchmarks/results/`` (gitignored) when the output flag is omitted
+or given bare, so artifacts never land in the repo root by accident.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .engine import (
@@ -110,6 +121,20 @@ EXPERIMENTS = [
     ("E6", "storage->GPU: GPUDirect vs host staging (extension)",
      "bench_e6_gpudirect.py"),
 ]
+
+
+def _routed_output(path, default_name: str) -> str:
+    """Resolve a report-output path, routing defaults out of the root.
+
+    An omitted or bare flag (``path`` empty/None) lands under
+    ``benchmarks/results/`` (gitignored); an explicit path is taken
+    as-is.  Either way the parent directory is created.
+    """
+    out = path or os.path.join("benchmarks", "results", default_name)
+    out_dir = os.path.dirname(out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    return out
 
 
 def _spec(name: str):
@@ -321,15 +346,17 @@ def cmd_trace(args) -> int:
     from .sim import export_chrome_trace
     if args.serve:
         from .serve import serve_scenario_server
+        out = _routed_output(args.out,
+                             f"trace_serve_{args.scenario}.json")
         server = serve_scenario_server(args.scenario,
                                        queries=args.queries)
         trace = server.fabric.trace
         trace.close_open_spans()
-        payload = export_chrome_trace(trace, args.out)
+        payload = export_chrome_trace(trace, out)
         stats = trace.event_stats()
         lanes = len({ctx.get("tenant", "")
                      for ctx in trace.contexts.values()})
-        print(f"wrote {args.out}: {len(payload['traceEvents'])} "
+        print(f"wrote {out}: {len(payload['traceEvents'])} "
               f"trace events from scenario {args.scenario} "
               f"({stats['recorded']} ring events, "
               f"{len(trace.contexts)} query contexts, "
@@ -352,9 +379,10 @@ def cmd_trace(args) -> int:
         DataflowEngine(fabric, catalog).execute(query,
                                                 placement=placement)
     fabric.trace.close_open_spans()
-    payload = export_chrome_trace(fabric.trace, args.out)
+    out = _routed_output(args.out, f"trace_{args.engine}.json")
+    payload = export_chrome_trace(fabric.trace, out)
     stats = fabric.trace.event_stats()
-    print(f"wrote {args.out}: {len(payload['traceEvents'])} trace "
+    print(f"wrote {out}: {len(payload['traceEvents'])} trace "
           f"events ({stats['recorded']} ring events, "
           f"truncated={stats['truncated']})")
     print("open in https://ui.perfetto.dev or chrome://tracing")
@@ -447,11 +475,14 @@ def cmd_whatif(args) -> int:
                          vary=vary)
     _print_whatif(payload)
     violations = whatif_violations(payload)
-    if args.out:
-        with open(args.out, "w", encoding="utf-8") as fh:
+    if args.out is not None:
+        # Bare -o routes under benchmarks/results/; absent -o writes
+        # nothing (the sweep is still printed and gated).
+        out = _routed_output(args.out, f"WHATIF_{args.query}.json")
+        with open(out, "w", encoding="utf-8") as fh:
             json_mod.dump(payload, fh, indent=1, sort_keys=True)
             fh.write("\n")
-        print(f"\nwrote {args.out}")
+        print(f"\nwrote {out}")
     if violations:
         print("\nVIOLATIONS:")
         for violation in violations:
@@ -465,9 +496,11 @@ def cmd_report(args) -> int:
 
     if args.serve:
         from .serve import run_scenario, write_dashboard
+        out = _routed_output(
+            args.out, f"serve_dashboard_{args.serve_scenario}.html")
         record = run_scenario(args.serve_scenario)
         html_path, json_path = write_dashboard(
-            args.out, record,
+            out, record,
             title=f"Serving dashboard — {args.serve_scenario}")
         telemetry = record["telemetry"]
         print(f"wrote {html_path} and {json_path} "
@@ -476,6 +509,7 @@ def cmd_report(args) -> int:
               f"{len(telemetry['exemplars'])} exemplars)")
         return 0
 
+    out = _routed_output(args.out, "attribution.html")
     names = (sorted(SCENARIOS) if args.queries == "all"
              else [q.strip() for q in args.queries.split(",")])
     payloads = []
@@ -483,7 +517,7 @@ def cmd_report(args) -> int:
         print(f"analyzing {name}...")
         payloads.append(run_whatif(name, engine=args.engine,
                                    rows=args.rows))
-    html_path, json_path = write_report(args.out, payloads)
+    html_path, json_path = write_report(out, payloads)
     print(f"wrote {html_path} and {json_path} "
           f"({len(payloads)} queries)")
     return 0
@@ -587,39 +621,95 @@ def cmd_serve(args) -> int:
               f"alerts {fired} fired / {len(alerts) - fired} "
               f"resolved  exemplars {len(telemetry['exemplars'])}  "
               f"digest {record['telemetry_digest'][:12]}...")
+    observatory = record.get("observatory")
+    if observatory is not None:
+        regret = observatory["regret"]
+        switches = sum(c.get("switch_opportunities", 0)
+                       for c in regret["by_tenant"].values())
+        status = "partial" if observatory["partial"] else "complete"
+        print(f"  observatory: {observatory['windows']} windows x "
+              f"{observatory['window_s'] * 1e3:g} ms  "
+              f"{len(observatory['pools'])} pools  "
+              f"{switches} regret switch opportunities  "
+              f"ring {status}  "
+              f"digest {record['observatory_digest'][:12]}...")
     if not args.no_verify:
         checked = record["verification"]["queries_checked"]
         print(f"  verified: {checked} results bit-identical to "
-              "standalone runs; accounting + telemetry exact")
+              "standalone runs; accounting + telemetry + "
+              "observatory exact")
     if args.report is not None:
-        import os
-
         from .serve import write_dashboard
         # Bare --report defaults under benchmarks/results/, which is
         # gitignored — reports never land in the repo root.
-        report = args.report or os.path.join(
-            "benchmarks", "results", f"serve_{record['name']}.html")
-        report_dir = os.path.dirname(report)
-        if report_dir:
-            os.makedirs(report_dir, exist_ok=True)
+        report = _routed_output(args.report,
+                                f"serve_{record['name']}.html")
         html_path, json_path = write_dashboard(
             report, record,
             title=f"Serving dashboard — {record['name']}")
         print(f"  dashboard: {html_path} (+ {json_path})")
     if args.out is not None:
-        import os
         # Bare -o defaults under benchmarks/results/ (gitignored),
         # same routing as --report — records never land in the
         # repo root by accident.
-        out = args.out or os.path.join(
-            "benchmarks", "results", f"serve_{record['name']}.json")
-        out_dir = os.path.dirname(out)
-        if out_dir:
-            os.makedirs(out_dir, exist_ok=True)
+        out = _routed_output(args.out,
+                             f"serve_{record['name']}.json")
         with open(out, "w") as handle:
             json.dump(record, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"  record: {out}")
+    return 0
+
+
+def cmd_top(args) -> int:
+    import json
+
+    from .analysis.observatory import OBSERVATORY_SCHEMA, render_top
+
+    if getattr(args, "from_file", None):
+        with open(args.from_file) as handle:
+            doc = json.load(handle)
+        # Accept either a bare observatory payload or a wrapper
+        # (serving record, `top --json` artifact) that embeds one.
+        if doc.get("schema") == OBSERVATORY_SCHEMA and "series" in doc:
+            payload = doc
+        else:
+            payload = doc.get("observatory")
+        if payload is None:
+            print(f"error: {args.from_file} carries no "
+                  f"{OBSERVATORY_SCHEMA} section", file=sys.stderr)
+            return 1
+        name = doc.get("name", args.from_file)
+        print(render_top(payload, name=name, follow=args.follow))
+        return 0
+
+    from .serve import run_scenario
+    record = run_scenario(args.scenario, rows=args.rows,
+                          queries=args.queries, verify=False)
+    payload = record.get("observatory")
+    if payload is None:
+        print("error: the server ran with the observatory disabled",
+              file=sys.stderr)
+        return 1
+    print(render_top(payload, name=record["name"],
+                     follow=args.follow))
+    violations = record["observatory_violations"]
+    if args.json is not None:
+        out = _routed_output(args.json, f"TOP_{record['name']}.json")
+        with open(out, "w") as handle:
+            json.dump({"schema": OBSERVATORY_SCHEMA,
+                       "name": record["name"],
+                       "digest": record["observatory_digest"],
+                       "observatory": payload,
+                       "violations": violations},
+                      handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nwrote {out}")
+    if violations:
+        print("\nOBSERVATORY VIOLATIONS:", file=sys.stderr)
+        for violation in violations[:10]:
+            print(f"  - {violation}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -693,8 +783,11 @@ def build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser(
         "trace", help="export a Chrome/Perfetto trace of the demo "
                       "query")
-    trace.add_argument("-o", "--out", required=True,
-                       help="output .json path (trace_events format)")
+    trace.add_argument("-o", "--out", nargs="?", const="",
+                       default="", metavar="JSON",
+                       help="output .json path (trace_events "
+                            "format); omitted or bare -o defaults "
+                            "under benchmarks/results/")
     trace.add_argument("--rows", type=int, default=50_000)
     trace.add_argument("--engine", default="dataflow",
                        choices=["dataflow", "volcano", "both"])
@@ -736,16 +829,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="explicit raw perturbations, e.g. "
                              "nic.bw=2x,cxl.lat=0.5x (skips the "
                              "sweep unless --resources is given)")
-    whatif.add_argument("-o", "--out", default=None,
-                        help="write the repro.whatif/v1 JSON here")
+    whatif.add_argument("-o", "--out", nargs="?", const="",
+                        default=None, metavar="JSON",
+                        help="write the repro.whatif/v1 JSON here; "
+                             "bare -o defaults under "
+                             "benchmarks/results/ (absent: no file)")
     whatif.set_defaults(func=cmd_whatif)
 
     report = sub.add_parser(
         "report", help="self-contained HTML attribution report "
                        "(+ JSON artifact)")
-    report.add_argument("-o", "--out", required=True,
+    report.add_argument("-o", "--out", nargs="?", const="",
+                        default="", metavar="HTML",
                         help="output .html path (JSON lands "
-                             "alongside)")
+                             "alongside); omitted or bare -o "
+                             "defaults under benchmarks/results/")
     report.add_argument("--queries", default="all",
                         help="comma-separated scenarios or 'all'")
     report.add_argument("--engine", default="dataflow",
@@ -807,6 +905,34 @@ def build_parser() -> argparse.ArgumentParser:
                             "dashboard here (telemetry JSON lands "
                             "alongside)")
     serve.set_defaults(func=cmd_serve)
+
+    top = sub.add_parser(
+        "top", help="saturation observatory snapshot (pools, bound "
+                    "tenants, placement-regret leaders)")
+    top.add_argument("--scenario", default="two_tenant_bursty",
+                     help="serving scenario to observe")
+    top.add_argument("--rows", type=int, default=None,
+                     help="base table rows (scenario default "
+                          "otherwise)")
+    top.add_argument("--queries", type=int, default=None,
+                     help="requested total queries across tenants")
+    top.add_argument("--from", dest="from_file", default=None,
+                     metavar="JSON",
+                     help="render from a recorded "
+                          "repro.observatory/v1 JSON (or a serving "
+                          "record embedding one) instead of serving")
+    top.add_argument("--once", action="store_true",
+                     help="point-in-time summary only (the default; "
+                          "kept explicit for scripting)")
+    top.add_argument("--follow", action="store_true",
+                     help="add the per-window playback above the "
+                          "summary tables")
+    top.add_argument("--json", nargs="?", const="", default=None,
+                     metavar="JSON",
+                     help="also write the observatory JSON artifact; "
+                          "bare --json defaults under "
+                          "benchmarks/results/")
+    top.set_defaults(func=cmd_top)
 
     loadgen = sub.add_parser(
         "loadgen", help="materialize a scenario's open-tenant "

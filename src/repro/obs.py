@@ -228,6 +228,16 @@ _TELEMETRY_SERIES_KEYS = ("window", "arrivals", "completions",
 _ALERT_KEYS = ("tenant", "window", "ts", "kind", "fast_burn",
                "slow_burn", "threshold")
 
+_OBSERVATORY_SCHEMA = "repro.observatory/v1"
+
+_OBSERVATORY_REQUIRED = ("schema", "window_s", "windows",
+                         "horizon_s", "events_dropped", "partial",
+                         "partial_reason", "pools", "totals",
+                         "series", "bound", "regret")
+
+_OBSERVATORY_SERIES_KEYS = ("window", "start", "end", "pools",
+                            "saturation", "link_bytes")
+
 
 def _is_hex_digest(value) -> bool:
     return (isinstance(value, str) and len(value) == 64
@@ -305,6 +315,16 @@ def report_violations(report: dict) -> list[str]:
             digest = record.get("telemetry_digest")
             if not _is_hex_digest(digest):
                 errors.append(f"serving[{name}]: telemetry_digest "
+                              f"{digest!r} is not a sha256 hex "
+                              "digest")
+        if "observatory" in record:
+            errors.extend(
+                f"serving[{name}]: {violation}" for violation in
+                _observatory_section_violations(
+                    record["observatory"], record))
+            digest = record.get("observatory_digest")
+            if not _is_hex_digest(digest):
+                errors.append(f"serving[{name}]: observatory_digest "
                               f"{digest!r} is not a sha256 hex "
                               "digest")
     for record in report.get("experiments", []):
@@ -404,6 +424,80 @@ def _telemetry_section_violations(telemetry: dict) -> list[str]:
         if not attribution.get("exact", False):
             errors.append(f"telemetry exemplar {name}: critical-path "
                           "attribution is not exact")
+        # A partial attribution (bounded ring overflowed) must say
+        # why instead of silently reconciling over truncated inputs.
+        if attribution.get("partial", False) \
+                and not attribution.get("partial_reason"):
+            errors.append(f"telemetry exemplar {name}: attribution "
+                          "marked partial without a reason")
+    return errors
+
+
+def _observatory_section_violations(observatory: dict,
+                                    record: dict) -> list[str]:
+    """Structural checks for one ``repro.observatory/v1`` section."""
+    errors: list[str] = []
+    if not isinstance(observatory, dict):
+        return ["observatory section is not an object"]
+    for key in _OBSERVATORY_REQUIRED:
+        if key not in observatory:
+            errors.append(f"observatory missing {key!r}")
+    if observatory.get("schema") not in (None, _OBSERVATORY_SCHEMA):
+        errors.append(f"observatory schema is "
+                      f"{observatory.get('schema')!r}, expected "
+                      f"{_OBSERVATORY_SCHEMA!r}")
+    if observatory.get("window_s", 1.0) <= 0:
+        errors.append("observatory window_s not positive")
+    windows = observatory.get("windows", 0)
+    series = observatory.get("series", [])
+    if len(series) != windows:
+        errors.append(f"observatory series has {len(series)} "
+                      f"entries for {windows} windows "
+                      "(series must be dense)")
+    for position, entry in enumerate(series):
+        if entry.get("window") != position:
+            errors.append(f"observatory series entry {position} has "
+                          f"window index {entry.get('window')!r}")
+            break
+        missing = [k for k in _OBSERVATORY_SERIES_KEYS
+                   if k not in entry]
+        if missing:
+            errors.append(f"observatory window {position} missing "
+                          f"{missing}")
+            break
+    # Partial semantics: dropped ring events imply (and are the only
+    # reason for) a partial section, and partial requires a reason.
+    dropped = observatory.get("events_dropped", 0)
+    if bool(observatory.get("partial", False)) != (dropped > 0):
+        errors.append("observatory partial flag disagrees with "
+                      f"events_dropped={dropped}")
+    if observatory.get("partial", False) \
+            and not observatory.get("partial_reason"):
+        errors.append("observatory marked partial without a reason")
+    bound = observatory.get("bound", {})
+    tagged = bound.get("queries", [])
+    completed = record.get("completed")
+    if completed is not None and len(tagged) != completed:
+        errors.append(f"observatory bound classifier tagged "
+                      f"{len(tagged)} queries but the record "
+                      f"completed {completed}")
+    by_tenant_total = sum(
+        count for cell in bound.get("by_tenant", {}).values()
+        for count in cell.values())
+    if by_tenant_total != len(tagged):
+        errors.append("observatory per-tenant bound counts do not "
+                      "sum to the tagged query count")
+    regret = observatory.get("regret", {})
+    for entry in regret.get("queries", []):
+        if entry.get("regret_s", 0.0) < 0.0:
+            errors.append(f"observatory regret for "
+                          f"{entry.get('name')} is negative")
+            break
+    leaders = regret.get("leaders", [])
+    if [e.get("regret_s") for e in leaders] != sorted(
+            (e.get("regret_s") for e in leaders), reverse=True):
+        errors.append("observatory regret leaders are not sorted by "
+                      "descending regret")
     return errors
 
 
@@ -414,8 +508,8 @@ def validate_report(report: dict, strict: bool = True) -> str:
     baselines like ``BENCH_seed.json`` still load; v2 additionally
     requires per-scenario event-ring stats and a checksum per smoke
     record; v3 adds the ``serving`` section (validated whenever
-    present, including its telemetry section and a rejection of
-    empty per-query ``records`` lists).  Returns the reason string —
+    present, including its telemetry and observatory sections and a
+    rejection of empty per-query ``records`` lists).  Returns the reason string —
     ``""`` when the report is
     valid, otherwise every violation joined with ``"; "``.  With
     ``strict`` (the default) an invalid report raises

@@ -34,9 +34,26 @@ from ..relational.catalog import Catalog
 from ..relational.table import Table
 from .interference import LoadTracker, demand_vector
 
-__all__ = ["QueryExecutor", "Scheduler", "ScheduledQuery"]
+__all__ = ["QueryExecutor", "Scheduler", "ScheduledQuery",
+           "VariantDecision"]
 
 POLICIES = ("greedy", "interference", "interference+ratelimit")
+
+
+@dataclass(frozen=True)
+class VariantDecision:
+    """Why the policy picked one plan variant over the others.
+
+    Captured at pick time so the observatory can later score the
+    *chosen* variant against the alternatives on the observed fabric
+    state (placement regret) without re-running the policy.
+    ``considered`` holds ``(placement_name, bottleneck_s, score)``
+    per candidate — ``score`` is ``None`` when the policy short-
+    circuited (greedy, or a single-variant set).
+    """
+
+    chosen: str
+    considered: tuple[tuple[str, float, Optional[float]], ...]
 
 
 @dataclass
@@ -92,6 +109,11 @@ class QueryExecutor:
         self.optimizer = Optimizer(fabric, catalog)
         self.tracker = LoadTracker()
         self._limiters: dict[str, RateLimiter] = {}
+        #: Most recent variant decision per query name, recorded by
+        #: :meth:`execute` for observers (pure bookkeeping — never
+        #: read by the policy itself).  The serving front-end pops
+        #: entries at completion so the dict stays bounded.
+        self.decisions: dict[str, VariantDecision] = {}
 
     # -- planning -----------------------------------------------------------
 
@@ -103,8 +125,19 @@ class QueryExecutor:
     def pick_variant(self, variants: list[RankedPlacement]
                      ) -> RankedPlacement:
         """Choose the variant minimizing projected interference."""
+        return self._pick_scored(variants)[0]
+
+    def _pick_scored(self, variants: list[RankedPlacement]
+                     ) -> tuple[RankedPlacement, VariantDecision]:
+        """The pick plus a :class:`VariantDecision` audit record."""
         if self.policy == "greedy" or len(variants) == 1:
-            return variants[0]
+            chosen = variants[0]
+            decision = VariantDecision(
+                chosen=chosen.placement.name,
+                considered=tuple(
+                    (v.placement.name, v.cost.bottleneck_time, None)
+                    for v in variants))
+            return chosen, decision
         scored = []
         for variant in variants:
             vector = demand_vector(variant.cost)
@@ -115,7 +148,13 @@ class QueryExecutor:
             scored.append((projected + variant.cost.bottleneck_time,
                            variant))
         scored.sort(key=lambda pair: pair[0])
-        return scored[0][1]
+        chosen = scored[0][1]
+        decision = VariantDecision(
+            chosen=chosen.placement.name,
+            considered=tuple(
+                (v.placement.name, v.cost.bottleneck_time, score)
+                for score, v in scored))
+        return chosen, decision
 
     def network_bandwidth(self) -> float:
         links = self.fabric.route(self.fabric.storage_location,
@@ -153,7 +192,8 @@ class QueryExecutor:
         """
         sim = self.fabric.sim
         trace = self.fabric.trace
-        variant = self.pick_variant(variants)
+        variant, decision = self._pick_scored(variants)
+        self.decisions[name] = decision
         record.variant_name = variant.placement.name
         record.started = sim.now
         self.tracker.admit(name, demand_vector(variant.cost))

@@ -220,6 +220,97 @@ def _exemplars_section(exemplars: list[dict]) -> list[str]:
     return out
 
 
+def _observatory_section(observatory: dict) -> list[str]:
+    """The saturation / bound / regret panel (observatory payload)."""
+    out = ["<h2>saturation observatory</h2>"]
+    status = _badge(not observatory.get("partial", False),
+                    "ring complete",
+                    "PARTIAL: "
+                    + observatory.get("partial_reason", ""))
+    out.append(
+        "<p class=meta>"
+        f"schema {_esc(observatory.get('schema', ''))} &middot; "
+        f"{observatory.get('windows', 0)} windows of "
+        f"{observatory.get('window_s', 0.0) * 1e3:g} ms over "
+        f"{observatory.get('horizon_s', 0.0):.6f} s &middot; "
+        + status + "</p>")
+
+    series = observatory.get("series", [])
+    totals = observatory.get("totals", {})
+    horizon = observatory.get("horizon_s", 0.0) or 1.0
+    ranked = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))
+    out.append("<table><tr><th class=name>pool</th>"
+               "<th>busy (s)</th><th>share</th>"
+               "<th>saturation per window</th></tr>")
+    for pool, seconds in ranked[:10]:
+        values = [entry.get("saturation", {}).get(pool, 0.0)
+                  for entry in series]
+        color = "#d1242f" if pool.startswith("wait:") else "#4078c0"
+        out.append(f"<tr><td class=name>{_esc(pool)}</td>"
+                   f"<td>{seconds:.6f}</td>"
+                   f"<td>{seconds / horizon * 100:.1f}%</td>"
+                   f"<td style='text-align:left'>"
+                   f"{_sparkline(values, color)}</td></tr>")
+    out.append("</table>")
+
+    moved = [sum(entry.get("link_bytes", {}).values())
+             for entry in series]
+    out.append("<p class=meta>bytes moved per window (all links): "
+               + _sparkline(moved, "#9a6700") + "</p>")
+
+    by_tenant = observatory.get("bound", {}).get("by_tenant", {})
+    if by_tenant:
+        classes = sorted({cls for cell in by_tenant.values()
+                          for cls in cell})
+        out.append("<h3>bound queries by tenant (dominant resource "
+                   "class)</h3>")
+        out.append("<table><tr><th class=name>tenant</th>"
+                   + "".join(f"<th>{_esc(c)}</th>" for c in classes)
+                   + "<th>total</th></tr>")
+        for tenant in sorted(by_tenant):
+            cell = by_tenant[tenant]
+            out.append(
+                f"<tr><td class=name>{_esc(tenant)}</td>"
+                + "".join(f"<td>{cell.get(c, 0)}</td>"
+                          for c in classes)
+                + f"<td>{sum(cell.values())}</td></tr>")
+        out.append("</table>")
+
+    regret = observatory.get("regret", {})
+    leaders = regret.get("leaders", [])
+    out.append("<h3>placement-regret leaders</h3>")
+    if not leaders:
+        out.append("<p class=meta>no completed query had plan "
+                   "alternatives to regret</p>")
+        return out
+    out.append("<table><tr><th class=name>query</th>"
+               "<th class=name>tenant</th><th class=name>chosen</th>"
+               "<th class=name>observed best</th>"
+               "<th>regret (ms)</th><th>ratio</th></tr>")
+    for entry in leaders:
+        out.append(
+            f"<tr><td class=name>{_esc(entry.get('name'))}</td>"
+            f"<td class=name>{_esc(entry.get('tenant'))}</td>"
+            f"<td class=name>{_esc(entry.get('chosen'))}</td>"
+            f"<td class=name>{_esc(entry.get('best'))}</td>"
+            f"<td>{entry.get('regret_s', 0.0) * 1e3:.6f}</td>"
+            f"<td>{entry.get('regret_ratio', 0.0) * 100:.1f}%"
+            "</td></tr>")
+    out.append("</table>")
+    by_tenant_regret = regret.get("by_tenant", {})
+    switches = sum(c.get("switch_opportunities", 0)
+                   for c in by_tenant_regret.values())
+    total = sum(c.get("total_regret_s", 0.0)
+                for c in by_tenant_regret.values())
+    out.append(f"<p class=meta>total regret {total:.6f} s over "
+               f"{len(regret.get('queries', []))} scored queries "
+               f"&middot; {switches} switch opportunities "
+               "(observed best differs from the chosen variant) "
+               "&mdash; the ranking signal for feedback-driven "
+               "re-placement</p>")
+    return out
+
+
 def render_dashboard(record: dict,
                      title: str = "Serving dashboard") -> str:
     """Render one serving record as a self-contained HTML page."""
@@ -243,6 +334,9 @@ def render_dashboard(record: dict,
     tenants = telemetry.get("tenants", {})
     for name in sorted(tenants):
         parts += _tenant_section(name, tenants[name])
+    observatory = record.get("observatory")
+    if observatory:
+        parts += _observatory_section(observatory)
     parts += _alerts_section(telemetry.get("alerts", []),
                              telemetry.get("window_s", 0.0))
     parts += _exemplars_section(telemetry.get("exemplars", []))
@@ -267,7 +361,10 @@ def write_dashboard(path: str, record: dict,
         json.dump({"schema": TELEMETRY_SCHEMA,
                    "name": record.get("name", ""),
                    "digest": record.get("telemetry_digest", ""),
-                   "telemetry": record.get("telemetry", {})},
+                   "telemetry": record.get("telemetry", {}),
+                   "observatory": record.get("observatory", {}),
+                   "observatory_digest":
+                       record.get("observatory_digest", "")},
                   fh, indent=1, sort_keys=True)
         fh.write("\n")
     return path, json_path

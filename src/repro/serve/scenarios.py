@@ -350,6 +350,7 @@ def run_scenario(name: str, rows: Optional[int] = None,
     violations = server.accounting_violations()
     record["accounting_violations"] = violations
     record["telemetry_violations"] = server.telemetry_violations()
+    record["observatory_violations"] = server.observatory_violations()
     if verify:
         if violations:
             raise AssertionError(
@@ -359,6 +360,10 @@ def run_scenario(name: str, rows: Optional[int] = None,
             raise AssertionError(
                 "serving telemetry violations:\n  "
                 + "\n  ".join(record["telemetry_violations"][:10]))
+        if record["observatory_violations"]:
+            raise AssertionError(
+                "serving observatory violations:\n  "
+                + "\n  ".join(record["observatory_violations"][:10]))
         record["verification"] = _verify_against_oracle(server, rows)
     return record
 

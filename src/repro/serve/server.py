@@ -18,9 +18,10 @@ bookkeeping is exact.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
+from ..analysis.observatory import Observatory
 from ..engine.logical import Query
 from ..hardware.presets import HeterogeneousFabric
 from ..obs import combine_checksums, table_checksum
@@ -72,6 +73,11 @@ class ServeConfig:
     burn_threshold: float = 1.0
     fast_windows: int = 3
     slow_windows: int = 12
+    #: The saturation observatory (windowed fabric attribution, bound
+    #: classifier, placement regret) — pure observer like telemetry,
+    #: gated by its own observer-effect CI leg.
+    observatory: bool = True
+    observatory_window_s: float = 0.005
 
 
 @dataclass
@@ -178,6 +184,15 @@ class QueryServer:
                 burn_threshold=self.config.burn_threshold,
                 fast_windows=self.config.fast_windows,
                 slow_windows=self.config.slow_windows)
+        self.observatory: Optional[Observatory] = None
+        if self.config.observatory:
+            bandwidth = {
+                data["link"].name: data["link"].bandwidth
+                for _a, _b, data in fabric.graph.edges(data=True)}
+            self.observatory = Observatory(
+                self.tenants, fabric.trace,
+                window_s=self.config.observatory_window_s,
+                link_bandwidth=bandwidth)
         self._running: set[str] = set()
         self._backlog_cost_s = 0.0
         self._seq = 0
@@ -296,6 +311,10 @@ class QueryServer:
                    dur=record.latency, qid=record.qid)
         if self.telemetry is not None:
             self.telemetry.on_complete(record)
+        decision = self.executor.decisions.pop(record.name, None)
+        if self.observatory is not None:
+            self.observatory.on_complete(record, pending.variants,
+                                         decision)
         if pending.on_done is not None:
             pending.on_done(record)
         self._dispatch()
@@ -385,6 +404,10 @@ class QueryServer:
             self.telemetry.finalize(self.fabric.sim.now)
             record["telemetry"] = self.telemetry.payload()
             record["telemetry_digest"] = self.telemetry.digest()
+        if self.observatory is not None:
+            self.observatory.finalize(self.fabric.sim.now)
+            record["observatory"] = self.observatory.payload()
+            record["observatory_digest"] = self.observatory.digest()
         return record
 
     def accounting_violations(self) -> list[str]:
@@ -462,3 +485,17 @@ class QueryServer:
             return []
         self.telemetry.finalize(self.fabric.sim.now)
         return self.telemetry.telemetry_violations(self.records)
+
+    def observatory_violations(self) -> list[str]:
+        """Observatory invariant check ([] when it is off).
+
+        Finalizes the observatory if needed and recomputes every
+        window attribution through the scalar reference path, the
+        telescoped horizon sum, per-query reconciliation, and the
+        bound/regret entries — the serve-smoke CI job asserts this
+        is empty.
+        """
+        if self.observatory is None:
+            return []
+        self.observatory.finalize(self.fabric.sim.now)
+        return self.observatory.observatory_violations(self.records)

@@ -72,6 +72,69 @@ def test_cli_unknown_spec_rejected():
 
 
 # ---------------------------------------------------------------------------
+# Report-output routing: defaults land under benchmarks/results/
+# ---------------------------------------------------------------------------
+
+RESULTS = os.path.join("benchmarks", "results")
+
+
+def test_cli_trace_default_routes_to_results(capsys, tmp_path,
+                                             monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["trace", "--rows", "2000"]) == 0
+    expected = os.path.join(RESULTS, "trace_dataflow.json")
+    assert os.path.exists(expected)
+    assert expected in capsys.readouterr().out
+
+
+def test_cli_trace_explicit_path_honored(capsys, tmp_path,
+                                         monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    out = os.path.join("elsewhere", "t.json")
+    assert main(["trace", "--rows", "2000", "-o", out]) == 0
+    assert os.path.exists(out)
+    assert not os.path.exists(RESULTS)
+
+
+def test_cli_whatif_bare_flag_routes_to_results(capsys, tmp_path,
+                                                monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["whatif", "--query", "f2", "--rows", "800",
+                 "--vary", "nic.bw=2x", "-o"]) == 0
+    assert os.path.exists(os.path.join(RESULTS, "WHATIF_f2.json"))
+
+
+def test_cli_whatif_without_flag_writes_nothing(capsys, tmp_path,
+                                                monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["whatif", "--query", "f2", "--rows", "800",
+                 "--vary", "nic.bw=2x"]) == 0
+    assert not os.path.exists(RESULTS)
+
+
+def test_cli_report_default_routes_to_results(capsys, tmp_path,
+                                              monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["report", "--queries", "f2", "--rows", "800"]) == 0
+    assert os.path.exists(os.path.join(RESULTS, "attribution.html"))
+    assert os.path.exists(os.path.join(RESULTS, "attribution.json"))
+
+
+def test_cli_top_json_routes_to_results(capsys, tmp_path,
+                                        monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["top", "--queries", "30", "--once", "--json"]) == 0
+    out = capsys.readouterr().out
+    assert "placement-regret leaders" in out
+    expected = os.path.join(RESULTS, "TOP_two_tenant_bursty.json")
+    assert os.path.exists(expected)
+    # The artifact renders standalone through --from.
+    assert main(["top", "--from", expected, "--follow"]) == 0
+    followed = capsys.readouterr().out
+    assert "bytes moved" in followed
+
+
+# ---------------------------------------------------------------------------
 # Examples
 # ---------------------------------------------------------------------------
 

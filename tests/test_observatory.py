@@ -1,0 +1,357 @@
+"""The runtime saturation observatory: series, bound, regret, gates.
+
+The expensive serving run is shared module-wide; every test reads the
+same server/record.  Exactness claims are all tolerance 0 — the
+observatory is Fraction arithmetic end to end.
+"""
+
+import copy
+import dataclasses
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import (
+    IntervalIndex,
+    Observatory,
+    OBSERVATORY_SCHEMA,
+    attribute,
+    bound_class,
+    effective_cost,
+    raw_intervals,
+    render_top,
+)
+from repro.obs import report_violations, make_report
+from repro.serve import SERVE_SCENARIOS, run_scenario
+from repro.serve.dashboard import render_dashboard, write_dashboard
+from repro.serve.scenarios import serve_scenario_server
+from repro.sim import EventKind, EventRing, Trace
+
+QUERIES = 60
+
+
+@pytest.fixture(scope="module")
+def server():
+    return serve_scenario_server("two_tenant_bursty",
+                                 queries=QUERIES)
+
+
+@pytest.fixture(scope="module")
+def record(server):
+    return server.report("two_tenant_bursty")
+
+
+# ---------------------------------------------------------------------------
+# Tentpole: the series reconcile exactly, every invariant recomputed
+# ---------------------------------------------------------------------------
+
+def test_observatory_violations_empty(server):
+    assert server.observatory_violations() == []
+
+
+def test_window_sums_telescope_to_whole_horizon(server):
+    obs = server.observatory
+    trace = server.fabric.trace
+    whole = attribute(trace, 0.0, obs._horizon)
+    totals = {}
+    for buckets in obs._window_buckets:
+        for name, value in buckets.items():
+            totals[name] = totals.get(name, Fraction(0)) + value
+    assert totals == whole.buckets  # Fraction-exact, tolerance 0
+
+
+def test_every_window_tiles_exactly(server):
+    obs = server.observatory
+    for i, buckets in enumerate(obs._window_buckets):
+        width = (Fraction(obs._edges[i + 1])
+                 - Fraction(obs._edges[i]))
+        assert sum(buckets.values(), Fraction(0)) == width
+
+
+def test_per_query_attribution_equals_window_clipped_sums(server):
+    obs = server.observatory
+    trace = server.fabric.trace
+    index = IntervalIndex(raw_intervals(trace))
+    for rec in [r for r in server.records if r.completed][:10]:
+        whole = attribute(trace, rec.arrival, rec.finished,
+                          intervals=index)
+        pieces = {}
+        for i in range(len(obs._edges) - 1):
+            q0 = max(rec.arrival, obs._edges[i])
+            q1 = min(rec.finished, obs._edges[i + 1])
+            if q1 <= q0:
+                continue
+            part = attribute(trace, q0, q1, intervals=index)
+            for name, value in part.buckets.items():
+                pieces[name] = pieces.get(name, Fraction(0)) + value
+        assert pieces == whole.buckets
+
+
+def test_payload_structure(record):
+    obs = record["observatory"]
+    assert obs["schema"] == OBSERVATORY_SCHEMA
+    assert obs["windows"] == len(obs["series"])
+    assert obs["pools"] == sorted(obs["pools"])
+    assert not obs["partial"] and obs["partial_reason"] == ""
+    for i, entry in enumerate(obs["series"]):
+        assert entry["window"] == i
+        assert entry["end"] > entry["start"]
+        for key in ("pools", "saturation", "link_bytes"):
+            assert key in entry
+    # Saturation is share-of-window: each window's shares sum to 1.
+    for entry in obs["series"]:
+        assert sum(entry["saturation"].values()) == \
+            pytest.approx(1.0, abs=1e-9)
+
+
+def test_link_bytes_positive_and_per_link(record):
+    obs = record["observatory"]
+    moved = {}
+    for entry in obs["series"]:
+        for link, nbytes in entry["link_bytes"].items():
+            assert nbytes > 0
+            moved[link] = moved.get(link, 0.0) + nbytes
+    assert moved, "no link moved any bytes in a serving run?"
+    assert all(not link.startswith("link:") for link in moved)
+
+
+def test_bound_classifier_counts_and_classes(server, record):
+    obs = record["observatory"]
+    completed = sum(1 for r in server.records if r.completed)
+    tagged = obs["bound"]["queries"]
+    assert len(tagged) == completed == record["completed"]
+    for entry in tagged:
+        assert entry["class"] == bound_class(entry["bucket"])
+        assert 0.0 <= entry["share"] <= 1.0
+    by_tenant = obs["bound"]["by_tenant"]
+    assert sum(c for cell in by_tenant.values()
+               for c in cell.values()) == completed
+    windowed = sum(c for entry in obs["bound"]["series"]
+                   for cell in entry["tenants"].values()
+                   for c in cell.values())
+    assert windowed == completed
+
+
+def test_bound_class_collapses_pools():
+    assert bound_class("device:compute0.cpu") == "device"
+    assert bound_class("storage:storage.media") == "storage"
+    assert bound_class("nic:compute0.nic.dma") == "nic"
+    assert bound_class("link:net.storage") == "link"
+    assert bound_class("wait:other") == "wait:other"
+    assert bound_class("wait:credit") == "wait:credit"
+
+
+def test_regret_entries_scored_for_every_completion(server, record):
+    obs = record["observatory"]
+    regret = obs["regret"]
+    assert len(regret["queries"]) == record["completed"]
+    for entry in regret["queries"]:
+        assert entry["regret_s"] >= 0.0
+        assert entry["best_eff_s"] <= entry["chosen_eff_s"]
+        if entry["chosen"] == entry["best"]:
+            assert entry["regret_s"] == 0.0
+    leaders = regret["leaders"]
+    values = [e["regret_s"] for e in leaders]
+    assert values == sorted(values, reverse=True)
+    assert len(leaders) <= 10
+
+
+def test_effective_cost_reduces_to_bottleneck_when_idle(server):
+    variants = server.executor.plan_variants(
+        server.templates["count_hot"]())
+    for variant in variants:
+        assert effective_cost(variant.cost, {}) == pytest.approx(
+            variant.cost.bottleneck_time)
+        # Full saturation inflates but stays finite (rho capped).
+        shares = {f"device:{k}": 1.0
+                  for k in variant.cost.device_time}
+        shares.update({f"link:{k}": 1.0
+                       for k in variant.cost.link_time})
+        inflated = effective_cost(variant.cost, shares)
+        assert inflated >= variant.cost.bottleneck_time
+        assert inflated < variant.cost.bottleneck_time * 21
+
+
+def test_scheduler_records_variant_decisions(server):
+    # The server pops each decision at completion, so the executor's
+    # dict is empty after a drained run — the decisions landed in the
+    # observatory instead.
+    assert server.executor.decisions == {}
+    considered = [
+        decision for _r, _v, decision in server.observatory._completed]
+    assert all(d is not None for d in considered)
+    for decision in considered[:5]:
+        names = [name for name, _b, _s in decision.considered]
+        assert decision.chosen in names
+
+
+def test_digest_deterministic_across_identical_runs():
+    a = run_scenario("two_tenant_bursty", queries=25, verify=False)
+    b = run_scenario("two_tenant_bursty", queries=25, verify=False)
+    assert a["observatory_digest"] == b["observatory_digest"]
+    assert a["observatory"] == b["observatory"]
+
+
+# ---------------------------------------------------------------------------
+# Observer effect: bit-identical with the observatory off
+# ---------------------------------------------------------------------------
+
+def test_observatory_has_zero_observer_effect():
+    config = SERVE_SCENARIOS["two_tenant_bursty"].config
+    on = serve_scenario_server("two_tenant_bursty", queries=40,
+                               config=config)
+    off = serve_scenario_server(
+        "two_tenant_bursty", queries=40,
+        config=dataclasses.replace(config, observatory=False))
+    assert off.observatory is None
+    assert on.completion_order == off.completion_order
+    assert [r.checksum for r in on.records] == \
+        [r.checksum for r in off.records]
+    assert [r.to_dict() for r in on.records] == \
+        [r.to_dict() for r in off.records]
+    # The event rings are bit-identical: the observatory never emits.
+    on_events = [e.to_dict() for e in on.fabric.trace.events]
+    off_events = [e.to_dict() for e in off.fabric.trace.events]
+    assert on_events == off_events
+    assert on.fabric.trace.events.dropped == \
+        off.fabric.trace.events.dropped
+
+
+# ---------------------------------------------------------------------------
+# Satellite 1: bounded-ring overflow marks attributions partial
+# ---------------------------------------------------------------------------
+
+def _overflowed_trace():
+    trace = Trace(events=EventRing(4))
+    span = trace.open_span("device.cpu", 0.0)
+    trace.close_span(span, 1.0)
+    for i in range(10):
+        trace.emit(float(i) / 10, EventKind.CHUNK_EMIT, "chan",
+                   nbytes=64, flow_id=i + 1)
+    assert trace.events.dropped > 0
+    return trace
+
+
+def test_attribute_marks_partial_on_overflowed_ring():
+    trace = _overflowed_trace()
+    att = attribute(trace, 0.0, 1.0)
+    assert att.partial
+    assert "dropped" in att.partial_reason
+    assert att.exact  # arithmetic still reconciles; inputs are short
+    doc = att.to_dict()
+    assert doc["partial"] and doc["partial_reason"]
+
+
+def test_attribute_not_partial_on_complete_ring():
+    trace = Trace()
+    span = trace.open_span("device.cpu", 0.0)
+    trace.close_span(span, 1.0)
+    att = attribute(trace, 0.0, 1.0)
+    assert not att.partial and att.partial_reason == ""
+
+
+def test_observatory_marks_partial_on_overflowed_ring():
+    trace = _overflowed_trace()
+    obs = Observatory([], trace, window_s=0.5)
+    obs.finalize(1.0)
+    payload = obs.payload()
+    assert payload["partial"]
+    assert payload["events_dropped"] == trace.events.dropped
+    assert "dropped" in payload["partial_reason"]
+    assert obs.observatory_violations([]) == []
+    text = render_top(payload)
+    assert "PARTIAL" in text
+
+
+def test_validate_report_rejects_partial_without_reason(record):
+    serving = copy.deepcopy(
+        {k: v for k, v in record.items()
+         if k not in ("records", "completion_order")})
+    report = make_report("t", [], [], serving=[serving])
+    assert report_violations(report) == []
+    broken = copy.deepcopy(report)
+    broken["serving"][0]["observatory"]["partial"] = True
+    errors = report_violations(broken)
+    assert any("partial" in e for e in errors)
+
+
+def test_validate_report_rejects_sparse_series(record):
+    serving = copy.deepcopy(
+        {k: v for k, v in record.items()
+         if k not in ("records", "completion_order")})
+    report = make_report("t", [], [], serving=[serving])
+    broken = copy.deepcopy(report)
+    del broken["serving"][0]["observatory"]["series"][0]
+    errors = report_violations(broken)
+    assert any("dense" in e for e in errors)
+
+
+def test_validate_report_rejects_partial_exemplar_without_reason(
+        record):
+    serving = copy.deepcopy(
+        {k: v for k, v in record.items()
+         if k not in ("records", "completion_order")})
+    report = make_report("t", [], [], serving=[serving])
+    exemplars = report["serving"][0]["telemetry"]["exemplars"]
+    assert exemplars, "fixture run produced no exemplars"
+    exemplars[0]["attribution"]["partial"] = True
+    exemplars[0]["attribution"]["partial_reason"] = ""
+    errors = report_violations(report)
+    assert any("partial" in e for e in errors)
+
+
+# ---------------------------------------------------------------------------
+# Rendering: repro top and the dashboard panel, payload-only
+# ---------------------------------------------------------------------------
+
+def test_render_top_from_payload_alone(record):
+    payload = json.loads(json.dumps(record["observatory"]))
+    text = render_top(payload, name="two_tenant_bursty")
+    assert "two_tenant_bursty" in text
+    assert OBSERVATORY_SCHEMA in text
+    assert "ring complete" in text
+    assert "placement-regret leaders" in text
+    for tenant in ("gold", "bronze"):
+        assert tenant in text
+    followed = render_top(payload, follow=True)
+    assert "bytes moved" in followed
+    assert len(followed.splitlines()) > len(text.splitlines())
+
+
+def test_dashboard_renders_observatory_panel(record):
+    html = render_dashboard(record)
+    assert "saturation observatory" in html
+    assert "placement-regret leaders" in html
+    assert "bound queries by tenant" in html
+    assert OBSERVATORY_SCHEMA in html
+    assert "http" not in html.split("</style>")[1]  # zero fetches
+
+
+def test_dashboard_json_twin_carries_observatory(record, tmp_path):
+    html_path, json_path = write_dashboard(
+        str(tmp_path / "dash.html"), record)
+    with open(json_path) as handle:
+        twin = json.load(handle)
+    assert twin["observatory"]["schema"] == OBSERVATORY_SCHEMA
+    assert twin["observatory_digest"] == record["observatory_digest"]
+
+
+# ---------------------------------------------------------------------------
+# run_scenario / bench integration
+# ---------------------------------------------------------------------------
+
+def test_run_scenario_gates_observatory():
+    rec = run_scenario("two_tenant_bursty", queries=25)
+    assert rec["observatory_violations"] == []
+    assert rec["observatory"]["schema"] == OBSERVATORY_SCHEMA
+    assert len(rec["observatory_digest"]) == 64
+
+
+def test_bench_record_keeps_digest_drops_payload():
+    from repro.bench import _run_serve_task
+    rec = _run_serve_task(("two_tenant_bursty", None, 25))
+    assert "observatory" not in rec
+    assert len(rec["observatory_digest"]) == 64
+    assert rec["observatory_windows"] > 0
+    assert rec["observatory_partial"] is False

@@ -1,0 +1,106 @@
+"""Property test: IntervalIndex window clipping == scalar reference.
+
+The vectorized clip (:class:`repro.analysis.IntervalIndex`) claims
+bit-identity with the scalar `_clip` path for every interval/window
+shape — zero-width intervals, open (still-running) spans, edges that
+land exactly on window boundaries, fully-contained and
+fully-straddling spans.  Hypothesis drives the claim; the attribution
+built on either path must agree Fraction-exactly.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import IntervalIndex, attribute
+from repro.analysis.critical_path import _clip
+from repro.sim import Trace
+
+# A coarse binary grid makes exact window-edge collisions common
+# (0.125 steps are exact in binary floating point), while the float
+# strategy exercises arbitrary unaligned reals.
+_GRID = st.integers(min_value=-8, max_value=24).map(lambda i: i / 8)
+_REAL = st.floats(min_value=-1.0, max_value=3.0,
+                  allow_nan=False, allow_infinity=False)
+_POINT = st.one_of(_GRID, _REAL)
+
+_BUCKETS = [("device:cpu", 0), ("storage:media", 1), ("nic:dma", 2),
+            ("link:bus", 3), ("wait:wire", 4), ("wait:credit", 5)]
+
+
+@st.composite
+def _interval(draw):
+    start = draw(_POINT)
+    kind = draw(st.sampled_from(["closed", "zero", "open"]))
+    if kind == "open":
+        end = None                      # still-running span
+    elif kind == "zero":
+        end = start                     # zero-width interval
+    else:
+        end = start + abs(draw(_POINT))
+    bucket, prio = draw(st.sampled_from(_BUCKETS))
+    return (start, end, bucket, prio)
+
+
+@st.composite
+def _window(draw):
+    q0 = draw(_POINT)
+    width = draw(st.one_of(st.just(0.0), _GRID.map(abs), _REAL.map(abs)))
+    return q0, q0 + width
+
+
+@given(intervals=st.lists(_interval(), max_size=24),
+       window=_window())
+@settings(max_examples=300, deadline=None)
+def test_vectorized_clip_matches_scalar_reference(intervals, window):
+    q0, q1 = window
+    assert IntervalIndex(intervals).clip(q0, q1) \
+        == _clip(intervals, q0, q1)
+
+
+@given(intervals=st.lists(_interval(), max_size=24),
+       window=_window())
+@settings(max_examples=200, deadline=None)
+def test_attribution_identical_on_either_path(intervals, window):
+    q0, q1 = window
+    trace = Trace()
+    via_index = attribute(trace, q0, q1,
+                          intervals=IntervalIndex(intervals))
+    via_list = attribute(trace, q0, q1, intervals=list(intervals))
+    assert via_index.buckets == via_list.buckets  # Fraction-exact
+    assert via_index.segments == via_list.segments
+    if q1 > q0:
+        width = Fraction(q1) - Fraction(q0)
+        assert via_index.total == width  # tiles the window exactly
+
+
+# -- pinned edge cases the strategy must never regress on ------------------
+
+def test_zero_width_interval_contributes_nothing():
+    intervals = [(0.5, 0.5, "device:cpu", 0)]
+    assert IntervalIndex(intervals).clip(0.0, 1.0) == []
+    assert _clip(intervals, 0.0, 1.0) == []
+
+
+def test_exactly_aligned_edges_are_half_open():
+    # A span ending exactly at q0 or starting exactly at q1 is out.
+    intervals = [(0.0, 0.25, "device:cpu", 0),
+                 (0.75, 1.0, "link:bus", 3)]
+    for path in (IntervalIndex(intervals).clip,
+                 lambda a, b: _clip(intervals, a, b)):
+        assert path(0.25, 0.75) == []
+        assert path(0.0, 0.25) == [(0.0, 0.25, "device:cpu", 0)]
+
+
+def test_fully_contained_and_straddling_spans():
+    contained = (0.4, 0.6, "device:cpu", 0)
+    straddling = (0.0, 2.0, "storage:media", 1)
+    open_span = (0.5, None, "nic:dma", 2)
+    clipped = IntervalIndex(
+        [contained, straddling, open_span]).clip(0.25, 0.75)
+    assert clipped == [
+        (0.4, 0.6, "device:cpu", 0),
+        (0.25, 0.75, "storage:media", 1),
+        (0.5, 0.75, "nic:dma", 2)]
+    assert clipped == _clip([contained, straddling, open_span],
+                            0.25, 0.75)
